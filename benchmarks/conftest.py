@@ -1,0 +1,32 @@
+"""Shared fixtures for the paper-reproduction benchmark suite.
+
+Datasets are session-scoped (building the Twitter-like graph costs a few
+seconds) and every benchmark prints the regenerated table so that
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+evaluation section as text.
+"""
+
+import pytest
+
+from repro.bench import bench_twitter, bench_yahoo
+
+
+@pytest.fixture(scope="session")
+def twitter64():
+    return bench_twitter(64)
+
+
+@pytest.fixture(scope="session")
+def twitter32():
+    return bench_twitter(32)
+
+
+@pytest.fixture(scope="session")
+def yahoo64():
+    return bench_yahoo(64)
+
+
+def emit(result_table: str) -> None:
+    """Print a regenerated table (visible with -s / on failure)."""
+    print()
+    print(result_table)

@@ -1,0 +1,57 @@
+"""Design-rule ablation: butterfly degrees must *decrease* down the layers.
+
+§I: "For optimum performance, the butterfly degrees also decrease down
+the layers."  The mechanism: the top layer carries the full un-collapsed
+data, so it should be split widest (big packets, few rounds); lower
+layers carry collapsed data over smaller ranges, where narrow degrees
+keep packets above the efficiency floor.  Running the same 64-node
+allreduce with the reversed stack (2x4x8) must ship more bytes in the
+lower layers and take longer than the paper's 8x4x2.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.allreduce import KylixAllreduce
+from repro.bench import format_seconds, format_table, make_cluster
+
+
+def _run(dataset, degrees):
+    cluster = make_cluster(dataset)
+    net = KylixAllreduce(cluster, degrees, strict_coverage=False)
+    spec = dataset.spec
+    net.configure(spec)
+    values = {p.rank: np.ones(p.out_vertices.size) for p in dataset.partitions}
+    t0 = cluster.now
+    for _ in range(3):
+        net.reduce(values)
+    reduce_s = (cluster.now - t0) / 3
+    volume = cluster.stats.total_bytes()
+    return net.config_timing.elapsed, reduce_s, volume
+
+
+def test_ablation_decreasing_degrees(benchmark, twitter64):
+    stacks = {"8x4x2 (decreasing)": [8, 4, 2], "2x4x8 (reversed)": [2, 4, 8],
+              "4x4x4 (uniform)": [4, 4, 4]}
+    results = {}
+    for name, degrees in stacks.items():
+        results[name] = _run(twitter64, degrees)
+    benchmark.pedantic(lambda: _run(twitter64, [8, 4, 2]), rounds=1, iterations=1)
+
+    emit(
+        format_table(
+            ["stack", "config", "reduce", "total traffic"],
+            [
+                (name, format_seconds(c), format_seconds(r), f"{v / 1e6:.1f} MB")
+                for name, (c, r, v) in results.items()
+            ],
+            title="Ablation: degree ordering (twitter-like, 64 nodes)",
+        )
+    )
+
+    dec = results["8x4x2 (decreasing)"]
+    rev = results["2x4x8 (reversed)"]
+    # The reversed stack moves more bytes in total ...
+    assert rev[2] > dec[2] * 1.05
+    # ... and is slower end-to-end.
+    assert rev[0] + rev[1] > (dec[0] + dec[1]) * 1.05

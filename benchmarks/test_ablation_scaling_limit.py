@@ -1,0 +1,77 @@
+"""§II-A.2's scaling-limit claim: direct all-to-all stops scaling.
+
+"Eventually, the time to send each message hits a floor value determined
+by overhead in the TCP stack and switch latencies … scaling the cluster
+much beyond this limit actually increases the total communication time
+because of the increasing number of messages, reversing the advantages
+of parallelism."
+
+We fix the dataset, grow the cluster, and compare direct all-to-all
+against the per-size-tuned Kylix butterfly on allreduce time alone.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.allreduce import KylixAllreduce
+from repro.bench import format_seconds, format_table, scaled_params
+from repro.cluster import Cluster
+from repro.data import random_edge_partition, spmv_spec
+from repro.design import optimal_degrees
+
+
+def _reduce_time(dataset, m, degrees, params, iters=3, seed=21):
+    parts = random_edge_partition(dataset.graph, m, seed=11)
+    spec = spmv_spec(parts)
+    values = {p.rank: np.ones(p.out_vertices.size) for p in parts}
+    cluster = Cluster(m, params=params, seed=seed)
+    net = KylixAllreduce(cluster, degrees, strict_coverage=False)
+    net.configure(spec)
+    t0 = cluster.now
+    for _ in range(iters):
+        net.reduce(values)
+    return (cluster.now - t0) / iters
+
+
+def test_ablation_direct_stops_scaling(benchmark, twitter64):
+    params = scaled_params(twitter64)  # fixed fabric for every size
+    sizes = (8, 16, 32, 64)
+    rows = []
+    direct_times, kylix_times = {}, {}
+    for m in sizes:
+        model = twitter64.model()
+        floor = params.min_efficient_packet(0.85) * (4 / 16)
+        degrees = optimal_degrees(model, m, min_packet_bytes=floor, bytes_per_element=4)
+        direct_times[m] = _reduce_time(twitter64, m, [m], params)
+        kylix_times[m] = _reduce_time(twitter64, m, degrees, params)
+        rows.append(
+            (
+                m,
+                format_seconds(direct_times[m]),
+                format_seconds(kylix_times[m]),
+                "x".join(map(str, degrees)),
+            )
+        )
+    benchmark.pedantic(
+        lambda: _reduce_time(twitter64, 64, [64], params), rounds=1, iterations=1
+    )
+
+    emit(
+        format_table(
+            ["nodes", "direct reduce", "tuned Kylix reduce", "tuned degrees"],
+            rows,
+            title="Ablation: the §II scaling limit (fixed dataset, growing cluster)",
+        )
+    )
+
+    # Direct all-to-all is *slower* at 64 nodes than at 8 — parallelism
+    # reversed by the quadratic message count, as the paper claims.
+    assert direct_times[64] > direct_times[8]
+
+    # Kylix keeps improving (or at least does not regress as much).
+    assert kylix_times[64] < kylix_times[8]
+
+    # And the gap widens with the cluster: direct/kylix ratio grows.
+    assert (
+        direct_times[64] / kylix_times[64] > direct_times[8] / kylix_times[8]
+    )

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Fault tolerance: replication + packet racing surviving dead nodes (§V).
+
+A 16-node cluster hosts an 8-slot logical butterfly with replication
+factor 2.  We kill machines — including mid-run — and show that every
+reduction still returns exact results as long as one replica of each
+logical slot survives, at a modest time overhead.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.allreduce import (
+    KylixAllreduce,
+    ReduceSpec,
+    ReplicatedKylix,
+    dense_reduce,
+    expected_failures_survived,
+)
+from repro.cluster import Cluster, FailurePlan
+from repro.netmodel import EC2_LIKE
+
+M_PHYSICAL, REPLICATION = 16, 2
+M_LOGICAL = M_PHYSICAL // REPLICATION
+N = 2_000
+
+rng = np.random.default_rng(7)
+out_idx = {
+    r: np.unique(np.concatenate([rng.choice(N, 200), np.arange(r, N, M_LOGICAL)]))
+    for r in range(M_LOGICAL)
+}
+in_idx = {r: rng.choice(N, 100, replace=False) for r in range(M_LOGICAL)}
+spec = ReduceSpec(in_indices=in_idx, out_indices=out_idx)
+values = {r: rng.normal(size=out_idx[r].size) for r in range(M_LOGICAL)}
+reference = dense_reduce(spec, values)
+
+# Jittery commodity fabric: variance is what packet racing exploits.
+params = replace(EC2_LIKE, latency_sigma=0.8, service_sigma=0.8)
+
+
+def run(failures=None, label=""):
+    cluster = Cluster(M_PHYSICAL, params=params, failures=failures, seed=3)
+    net = ReplicatedKylix(cluster, degrees=[4, 2], replication=REPLICATION)
+    net.configure(spec)
+    t0 = cluster.now
+    result = net.reduce(values)
+    elapsed = cluster.now - t0
+    for r in range(M_LOGICAL):
+        np.testing.assert_allclose(result[r], reference[r], atol=1e-9)
+    dead = failures.dead_nodes if failures else []
+    print(f"{label:<38} reduce {elapsed * 1e3:7.2f} ms   dead={dead}   exact ✓")
+    return elapsed
+
+
+print(f"{M_PHYSICAL} machines, {M_LOGICAL} logical slots, replication={REPLICATION}")
+print(f"expected random failures survivable ≈ "
+      f"{expected_failures_survived(M_LOGICAL, REPLICATION):.1f} (birthday bound)\n")
+
+base = run(None, "no failures")
+run(FailurePlan.dead_from_start([2]), "one machine dead from the start")
+run(FailurePlan.dead_from_start([1, 6, 12]), "three machines dead (distinct slots)")
+run(FailurePlan({5: 2e-4}), "machine 5 dies mid-run")
+
+# For comparison: the unreplicated network at the same logical width.
+cluster = Cluster(M_LOGICAL, params=params, seed=3)
+plain = KylixAllreduce(cluster, degrees=[4, 2])
+plain.configure(spec)
+t0 = cluster.now
+plain.reduce(values)
+print(f"\nunreplicated {M_LOGICAL}-node reference      "
+      f"reduce {(cluster.now - t0) * 1e3:7.2f} ms")
+print("replication overhead stays well under the worst-case 2x thanks to racing")
+
+# And the failure mode replication cannot save: a whole replica group.
+try:
+    run(FailurePlan.dead_from_start([3, 3 + M_LOGICAL]), "both replicas of slot 3 dead")
+except Exception as exc:
+    print(f"\nboth replicas of slot 3 dead -> protocol stalls as expected: "
+          f"{type(exc).__name__}")

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: a sparse allreduce on a simulated 8-node cluster.
+
+Demonstrates the core API in ~40 lines:
+
+1. build a :class:`Cluster` (simulated commodity machines + EC2-like fabric);
+2. declare per-node *in* / *out* index sets with a :class:`ReduceSpec`;
+3. create a :class:`KylixAllreduce` with a butterfly degree stack;
+4. ``configure`` once, then ``reduce`` as many times as you like.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.allreduce import KylixAllreduce, ReduceSpec, dense_reduce
+from repro.cluster import Cluster
+
+M = 8  # machines
+N = 1_000  # global feature/vertex space
+
+rng = np.random.default_rng(0)
+
+# Every node contributes values for a random feature subset (plus a "home"
+# slice so all requested features have a contributor), and asks for a
+# different random subset back.
+out_idx = {
+    r: np.unique(np.concatenate([rng.choice(N, 120), np.arange(r, N, M)]))
+    for r in range(M)
+}
+in_idx = {r: rng.choice(N, 60, replace=False) for r in range(M)}
+spec = ReduceSpec(in_indices=in_idx, out_indices=out_idx)
+values = {r: rng.normal(size=out_idx[r].size) for r in range(M)}
+
+# An 8-node cluster and a 4x2 nested butterfly over it.
+cluster = Cluster(M)
+net = KylixAllreduce(cluster, degrees=[4, 2])
+
+net.configure(spec)  # routing tables: one downward index pass
+print(f"configuration took {net.config_timing.elapsed * 1e3:.2f} simulated ms")
+
+result = net.reduce(values)  # values down, reduced values back up
+print(f"reduction     took {net.last_reduce_timing.elapsed * 1e3:.2f} simulated ms")
+
+# Verify against a dense reference reduction.
+reference = dense_reduce(spec, values)
+for r in range(M):
+    np.testing.assert_allclose(result[r], reference[r], atol=1e-9)
+print(f"all {M} nodes received exact sums for their requested indices ✓")
+
+# The traffic accountant has the per-layer story (the "Kylix shape").
+down = cluster.stats.bytes_by_layer("reduce_down")
+print("reduce-down volume by layer:", {k: f"{v / 1024:.0f} KB" for k, v in down.items()})

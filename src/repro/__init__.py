@@ -1,0 +1,55 @@
+"""Kylix: a Sparse Allreduce for commodity clusters (ICPP 2014) — reproduction.
+
+Public API re-exports the pieces a downstream user touches most:
+
+* :class:`Cluster` — the simulated commodity cluster everything runs on;
+* :class:`ReduceSpec` / :class:`KylixAllreduce` — declare sparse in/out
+  index sets and run the nested heterogeneous butterfly allreduce;
+* the baseline topologies (direct, binary butterfly, tree, dense) and the
+  fault-tolerant :class:`ReplicatedKylix`;
+* the §IV design workflow (:func:`optimal_degrees`, :class:`PowerLawModel`).
+
+Subpackages: ``repro.simul`` (event engine), ``repro.netmodel`` (fabric
+cost model), ``repro.cluster``, ``repro.sparse``, ``repro.allreduce``,
+``repro.design``, ``repro.data``, ``repro.apps``, ``repro.baselines``,
+``repro.bench``, and ``repro.net`` (real-process execution backend).
+"""
+
+from .allreduce import (
+    BinaryButterflyAllreduce,
+    CoverageError,
+    DenseAllreduce,
+    DirectAllreduce,
+    KylixAllreduce,
+    ReduceSpec,
+    ReplicatedKylix,
+    TreeAllreduce,
+    dense_reduce,
+)
+from .cluster import Cluster, FailurePlan
+from .design import EmpiricalDensityCurve, PowerLawModel, optimal_degrees
+from .netmodel import EC2_LIKE, NetworkParams
+from .sparse import SparseVector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "FailurePlan",
+    "ReduceSpec",
+    "KylixAllreduce",
+    "DirectAllreduce",
+    "BinaryButterflyAllreduce",
+    "TreeAllreduce",
+    "DenseAllreduce",
+    "ReplicatedKylix",
+    "CoverageError",
+    "dense_reduce",
+    "PowerLawModel",
+    "EmpiricalDensityCurve",
+    "optimal_degrees",
+    "NetworkParams",
+    "EC2_LIKE",
+    "SparseVector",
+    "__version__",
+]

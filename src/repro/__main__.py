@@ -1,0 +1,85 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments [names...]``
+    Regenerate the paper's tables/figures (alias of
+    ``python -m repro.bench.run_all``).
+``demo``
+    A 30-second tour: one sparse allreduce with a traffic report.
+``info``
+    Version, calibration constants, and the reproduced-results summary.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+
+def _demo() -> int:
+    from .allreduce import KylixAllreduce, ReduceSpec, dense_reduce
+    from .bench.reporting import format_bytes, format_seconds
+    from .cluster import Cluster, attach_tracer
+
+    m, n = 16, 5_000
+    rng = np.random.default_rng(0)
+    idx = {
+        r: np.unique(np.concatenate([rng.choice(n, 400), np.arange(r, n, m)]))
+        for r in range(m)
+    }
+    spec = ReduceSpec(in_indices=idx, out_indices=idx)
+    values = {r: rng.normal(size=idx[r].size) for r in range(m)}
+
+    cluster = Cluster(m)
+    tracer = attach_tracer(cluster)
+    net = KylixAllreduce(cluster, degrees=[4, 2, 2])
+    net.configure(spec)
+    result = net.reduce(values)
+
+    reference = dense_reduce(spec, values)
+    exact = all(np.allclose(result[r], reference[r]) for r in range(m))
+    print(f"sparse allreduce on {m} simulated nodes, {n} features")
+    print(f"  config: {format_seconds(net.config_timing.elapsed)}   "
+          f"reduce: {format_seconds(net.last_reduce_timing.elapsed)}   "
+          f"exact: {'yes' if exact else 'NO'}")
+    down = cluster.stats.bytes_by_layer("reduce_down")
+    print("  reduce-down volume by layer (the Kylix shape): "
+          + ", ".join(f"L{k}={format_bytes(v)}" for k, v in down.items()))
+    print(tracer.timeline(width=52))
+    return 0
+
+
+def _info() -> int:
+    from . import __version__
+    from .bench import INCAST_FACTOR, KYLIX_COMPUTE_RATE, PAPER, SERVICE_SIGMA
+
+    print(f"repro {__version__} — Kylix (ICPP 2014) reproduction")
+    print(f"  paper targets: Twitter degrees {PAPER['twitter']['optimal_degrees']}, "
+          f"Yahoo {PAPER['yahoo']['optimal_degrees']}")
+    print(f"  calibration: service/latency sigma {SERVICE_SIGMA}, "
+          f"incast factor {INCAST_FACTOR}, compute {KYLIX_COMPUTE_RATE:.0e} B/s")
+    print("  see EXPERIMENTS.md for the full paper-vs-measured table")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    cmd, rest = argv[0], argv[1:]
+    if cmd == "experiments":
+        from .bench.run_all import main as run_all_main
+
+        return run_all_main(rest)
+    if cmd == "demo":
+        return _demo()
+    if cmd == "info":
+        return _info()
+    print(f"unknown command {cmd!r}; try: experiments, demo, info")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,43 @@
+"""Direct all-to-all sparse allreduce (§II-A.2) — the primary baseline.
+
+Every feature has a home node determined by its hashed key range; every
+node sends each home node the indices/values it touches, homes aggregate,
+and requested values come straight back.  This is exactly a one-layer
+butterfly of degree ``m``, so the implementation *is* Kylix with degree
+stack ``[m]`` — which also makes the comparison in Fig 6 an apples-to-
+apples one: same code paths, same cost model, only the topology differs.
+
+Its failure mode on large clusters is the paper's motivation: per-message
+packet size shrinks as ``1/m`` (or ``1/m²`` at fixed total data), falling
+below the minimum efficient packet size, after which per-message overhead
+dominates and adding nodes *increases* total communication time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster import Cluster
+from ..sparse import IndexHasher
+from .kylix import KylixAllreduce
+
+__all__ = ["DirectAllreduce"]
+
+
+class DirectAllreduce(KylixAllreduce):
+    """All-to-all sparse allreduce: a degree-``[m]`` butterfly."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        hasher: Optional[IndexHasher] = None,
+        strict_coverage: bool = True,
+    ):
+        super().__init__(
+            cluster,
+            degrees=[cluster.num_nodes],
+            hasher=hasher,
+            strict_coverage=strict_coverage,
+            name="direct",
+        )

@@ -1,0 +1,559 @@
+"""Kylix: the nested heterogeneous-degree butterfly sparse allreduce (§III).
+
+The protocol in brief (node ``k``, degree stack ``d_1 × … × d_l``):
+
+**Configuration** (downward only).  At layer ``i`` every node splits its
+current in/out key sets into ``d_i`` equal hashed sub-ranges of the range
+it shares with its layer-``i`` group, sends part ``q`` to the group member
+at position ``q``, unions what it receives (tree merge), and memoises the
+position maps of each received part inside the union.  After ``l`` layers
+node ``k`` owns the union of all contributions to its nested range.
+
+**Reduction** (down then up, through the *same* groups — nesting).  Values
+ride the memoised structure: downward, each received value part is
+scatter-added into the node's partial via the stored maps; at the bottom
+the partial is fully reduced over the whole cluster, and the node projects
+it onto the in-keys it hosts.  Upward, each node extracts — again via the
+stored maps — exactly the sub-vector each group member asked for during
+configuration and sends it back; members reassemble by writing parts into
+the contiguous slices the split produced.  Total reduction work is
+constant time per element, as in the paper.
+
+Degenerate stacks reproduce the baselines: ``[m]`` is the direct
+all-to-all allreduce, ``[2]*log2(m)`` the binary butterfly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..cluster import Cluster, SimNode
+from ..sparse import (
+    IndexHasher,
+    KeyRange,
+    MultiplicativeHasher,
+    split_sorted,
+    union_with_maps,
+)
+from .base import (
+    PHASE_COMBINED_DOWN,
+    PHASE_CONFIG,
+    PHASE_GATHER_UP,
+    PHASE_REDUCE_DOWN,
+    CoverageError,
+    ReduceSpec,
+    reduction_identity,
+    reduction_ufunc,
+)
+from .topology import ButterflyTopology
+
+__all__ = ["KylixAllreduce", "NodePlan", "LayerPlan", "PhaseTiming"]
+
+
+@dataclass
+class LayerPlan:
+    """Everything node ``k`` memoised about one communication layer."""
+
+    group: List[int]  # member ids, position order
+    pos: int  # our position (digit) in the group
+    pos_of: Dict[int, int]  # member id -> position
+    out_slices: List[slice]  # split of the previous out key array
+    in_slices: List[slice]  # split of the previous in key array
+    out_recv_maps: List[np.ndarray]  # per position: part -> out union positions
+    in_recv_maps: List[np.ndarray]  # per position: part -> in union positions (f maps)
+    out_union_size: int
+    in_union_size: int
+    in_prev_size: int  # length of the previous in key array (up-pass target)
+
+
+@dataclass
+class NodePlan:
+    """Full per-node configuration state produced by the config pass."""
+
+    rank: int
+    out_inverse: np.ndarray  # original out positions -> unique sorted positions
+    in_inverse: np.ndarray  # original in positions -> unique sorted positions
+    n_out: int  # unique out keys at layer 0
+    n_in: int  # unique in keys at layer 0
+    layers: List[LayerPlan] = field(default_factory=list)
+    bottom_pos: Optional[np.ndarray] = None  # in^l positions within out^l union
+    bottom_hit: Optional[np.ndarray] = None  # coverage mask for bottom_pos
+    bottom_out_keys: Optional[np.ndarray] = None  # hashed keys of out^l (sorted)
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Simulated wall time of one protocol phase."""
+
+    start: float
+    end: float
+
+    @property
+    def elapsed(self) -> float:
+        return self.end - self.start
+
+
+class KylixAllreduce:
+    """Sparse allreduce over a simulated cluster with a fixed degree stack.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster to run on.
+    degrees:
+        Butterfly degrees, top layer first; their product must equal the
+        cluster size.  ``[m]`` degenerates to direct all-to-all.
+    hasher:
+        Index↔key bijection; defaults to multiplicative hashing over the
+        64-bit ring.  Pass :class:`IdentityHasher` in tests for readable
+        key spaces.
+    strict_coverage:
+        When True (default) a requested in-index nobody contributes raises
+        :class:`CoverageError` during reduction; when False such entries
+        return zeros.
+
+    Usage::
+
+        net = KylixAllreduce(cluster, degrees=[8, 4, 2])
+        net.configure(spec)              # once per index-set epoch
+        out = net.reduce(values)         # many times (e.g. per PageRank iter)
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        degrees: Sequence[int],
+        *,
+        hasher: Optional[IndexHasher] = None,
+        strict_coverage: bool = True,
+        name: str = "kylix",
+    ):
+        self.cluster = cluster
+        self.hasher = hasher if hasher is not None else MultiplicativeHasher()
+        self.size = self._logical_size()
+        self.topology = ButterflyTopology(
+            degrees, self.size, key_space=self.hasher.key_space
+        )
+        self.strict_coverage = strict_coverage
+        self.name = name
+        self.spec: Optional[ReduceSpec] = None
+        self.plans: Dict[int, NodePlan] = {}
+        self.config_timing: Optional[PhaseTiming] = None
+        self.last_reduce_timing: Optional[PhaseTiming] = None
+        self.last_combined_timing: Optional[PhaseTiming] = None
+        self._instance = 0
+
+    # ------------------------------------------------------------------
+    # Logical/physical mapping hooks (overridden by ReplicatedKylix)
+    # ------------------------------------------------------------------
+    def _logical_size(self) -> int:
+        """Width of the logical butterfly (= physical size when unreplicated)."""
+        return self.cluster.num_nodes
+
+    def _logical(self, physical_rank: int) -> int:
+        """Logical slot hosted by a physical node."""
+        return physical_rank
+
+    def _send_to(self, node: SimNode, logical_dst: int, payload, *, tag, phase, layer):
+        """Deliver ``payload`` to (every replica of) a logical destination."""
+        node.send(logical_dst, payload, tag=tag, phase=phase, layer=layer)
+
+    def _pos_from_src(self, src: int, pos_of: Dict[int, int]) -> int:
+        """Group position of the (logical) sender of a received message."""
+        return pos_of[src]
+
+    def _recv_group(self, node: SimNode, tag, pos_of: Dict[int, int], count: int):
+        """Receive one message per group position; duplicates (replica
+        copies that lost the race) are skipped.  Returns messages indexed
+        by group position."""
+        received: List = [None] * count
+        got = 0
+        while got < count:
+            msg = yield node.recv(tag=tag)
+            q = self._pos_from_src(msg.src, pos_of)
+            if received[q] is not None:
+                continue  # duplicate replica copy
+            received[q] = msg
+            got += 1
+        return received
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def configure(self, spec: ReduceSpec) -> Dict[int, NodePlan]:
+        """Run the configuration pass; memoises routing for reductions."""
+        expected = set(range(self.size))
+        if set(spec.ranks) != expected:
+            raise ValueError(
+                f"spec must cover every logical rank (got {len(spec.ranks)} of "
+                f"{self.size})"
+            )
+        self.spec = spec
+        self._instance += 1
+        inst = self._instance
+        start = self.cluster.now
+        self.plans = self.cluster.run(self._config_proto, spec, inst)
+        self.config_timing = PhaseTiming(start, self.cluster.now)
+        return self.plans
+
+    def _config_proto(self, node: SimNode, spec: ReduceSpec, inst: int):
+        plan, _ = yield from self._down_pass(node, spec, inst, values=None)
+        return plan
+
+    def _down_pass(
+        self,
+        node: SimNode,
+        spec: ReduceSpec,
+        inst: int,
+        values: Optional[Mapping[int, np.ndarray]] = None,
+    ):
+        """The downward pass: build the routing plan, optionally carrying
+        values in the same messages (§III's combined configuration and
+        reduction for minibatch workloads).
+
+        Returns ``(plan, partial)`` where ``partial`` is the node's fully
+        reduced bottom-layer values (``None`` in config-only mode).
+        """
+        rank = self._logical(node.rank)
+        out_keys_raw = self.hasher.hash(spec.out_indices[rank])
+        in_keys_raw = self.hasher.hash(spec.in_indices[rank])
+        out_keys, out_inverse = np.unique(out_keys_raw, return_inverse=True)
+        in_keys, in_inverse = np.unique(in_keys_raw, return_inverse=True)
+        plan = NodePlan(
+            rank=node.rank,
+            out_inverse=out_inverse.astype(np.intp),
+            in_inverse=in_inverse.astype(np.intp),
+            n_out=out_keys.size,
+            n_in=in_keys.size,
+        )
+
+        combined = values is not None
+        ufunc = reduction_ufunc(spec.op)
+        identity = reduction_identity(spec.op, spec.dtype)
+        v = None
+        if combined:
+            v = self._aligned_out_values(rank, plan, spec, values)
+
+        rng = KeyRange.full(self.hasher.key_space)
+        topo = self.topology
+        for layer in range(1, topo.num_layers + 1):
+            d = topo.degrees[layer - 1]
+            group = topo.group(rank, layer)
+            pos = topo.position(rank, layer)
+            pos_of = {member: q for q, member in enumerate(group)}
+
+            out_slices = split_sorted(out_keys, rng, d)
+            in_slices = split_sorted(in_keys, rng, d)
+            tag = (self.name, "cmb" if combined else "cfg", inst, layer)
+            for q, member in enumerate(group):
+                if combined:
+                    payload = (
+                        out_keys[out_slices[q]],
+                        in_keys[in_slices[q]],
+                        v[out_slices[q]],
+                    )
+                    phase = PHASE_COMBINED_DOWN
+                else:
+                    payload = (out_keys[out_slices[q]], in_keys[in_slices[q]])
+                    phase = PHASE_CONFIG
+                self._send_to(node, member, payload, tag=tag, phase=phase, layer=layer)
+
+            msgs = yield from self._recv_group(node, tag, pos_of, d)
+            out_parts = [m.payload[0] for m in msgs]
+            in_parts = [m.payload[1] for m in msgs]
+            recv_bytes = sum(m.nbytes for m in msgs)
+            # Tree-merge the received index sets; memoise position maps.
+            out_union, out_maps = union_with_maps(out_parts)
+            in_union, in_maps = union_with_maps(in_parts)
+            if combined:
+                partial = np.full(
+                    (out_union.size, *spec.value_shape), identity, dtype=spec.dtype
+                )
+                for q, msg in enumerate(msgs):
+                    m = out_maps[q]
+                    partial[m] = ufunc(partial[m], msg.payload[2])
+                v = partial
+            # Merge cost: every element participates in ~log2(d)+1 merges.
+            depth = max(1, int(np.ceil(np.log2(max(d, 2)))) + 1)
+            yield node.compute_bytes(recv_bytes * depth)
+
+            plan.layers.append(
+                LayerPlan(
+                    group=group,
+                    pos=pos,
+                    pos_of=pos_of,
+                    out_slices=out_slices,
+                    in_slices=in_slices,
+                    out_recv_maps=out_maps,
+                    in_recv_maps=in_maps,
+                    out_union_size=out_union.size,
+                    in_union_size=in_union.size,
+                    in_prev_size=in_keys.size,
+                )
+            )
+            out_keys, in_keys = out_union, in_union
+            rng = rng.subrange(pos, d)
+
+        # Bottom projection: where each hosted in-key sits in the reduced
+        # out union (coverage holes surface here).
+        pos = np.searchsorted(out_keys, in_keys).astype(np.intp)
+        clipped = np.minimum(pos, max(out_keys.size - 1, 0))
+        hit = (
+            (out_keys[clipped] == in_keys)
+            if out_keys.size and in_keys.size
+            else np.zeros(in_keys.size, dtype=bool)
+        )
+        plan.bottom_pos = clipped
+        plan.bottom_hit = hit
+        plan.bottom_out_keys = out_keys
+        return plan, v
+
+    def _aligned_out_values(
+        self, rank: int, plan: NodePlan, spec: ReduceSpec, values: Mapping[int, np.ndarray]
+    ) -> np.ndarray:
+        """Caller-order values -> unique-sorted-key order, duplicates combined."""
+        ufunc = reduction_ufunc(spec.op)
+        identity = reduction_identity(spec.op, spec.dtype)
+        raw = np.asarray(values[rank], dtype=spec.dtype)
+        if raw.shape != (len(spec.out_indices[rank]), *spec.value_shape):
+            raise ValueError(
+                f"rank {rank}: out values shape {raw.shape} does not match "
+                f"(n_out={len(spec.out_indices[rank])}, "
+                f"value_shape={spec.value_shape})"
+            )
+        v = np.full((plan.n_out, *spec.value_shape), identity, dtype=spec.dtype)
+        ufunc.at(v, plan.out_inverse, raw)
+        return v
+
+    def _bottom_projection(
+        self, rank: int, plan: NodePlan, spec: ReduceSpec, v: np.ndarray
+    ) -> np.ndarray:
+        """Project the fully reduced bottom partial onto hosted in-keys."""
+        identity = reduction_identity(spec.op, spec.dtype)
+        if plan.bottom_hit is not None and not bool(plan.bottom_hit.all()):
+            if self.strict_coverage:
+                missing = int((~plan.bottom_hit).sum())
+                raise CoverageError(
+                    f"rank {rank}: {missing} requested indices have no contributor"
+                )
+        r = np.full(
+            (plan.bottom_pos.size, *spec.value_shape), identity, dtype=spec.dtype
+        )
+        if v.size:
+            np.copyto(r, v[plan.bottom_pos], where=_expand(plan.bottom_hit, r.ndim))
+        return r
+
+    def _up_pass(self, node: SimNode, plan: NodePlan, spec: ReduceSpec, r, inst: int):
+        """Upward allgather: return reduced values along the memoised routes."""
+        vshape = spec.value_shape
+        dtype = spec.dtype
+        for layer in range(len(plan.layers), 0, -1):
+            lp = plan.layers[layer - 1]
+            tag = (self.name, "up", inst, layer)
+            for q, member in enumerate(lp.group):
+                self._send_to(
+                    node,
+                    member,
+                    r[lp.in_recv_maps[q]],
+                    tag=tag,
+                    phase=PHASE_GATHER_UP,
+                    layer=layer,
+                )
+            out = np.zeros((lp.in_prev_size, *vshape), dtype=dtype)
+            msgs = yield from self._recv_group(node, tag, lp.pos_of, len(lp.group))
+            recv_bytes = 0
+            for q, msg in enumerate(msgs):
+                out[lp.in_slices[q]] = msg.payload
+                recv_bytes += msg.nbytes
+            yield node.compute_bytes(recv_bytes)
+            r = out
+        return r
+
+    # ------------------------------------------------------------------
+    # Reduction
+    # ------------------------------------------------------------------
+    def reduce(self, out_values: Mapping[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        """One reduction over the configured index sets.
+
+        ``out_values[rank]`` must align with ``spec.out_indices[rank]``;
+        the result aligns with ``spec.in_indices[rank]``.
+        """
+        if self.spec is None:
+            raise RuntimeError("configure() must run before reduce()")
+        spec = self.spec
+        self._instance += 1
+        inst = self._instance
+        start = self.cluster.now
+        results = self.cluster.run(self._reduce_proto, spec, out_values, inst)
+        self.last_reduce_timing = PhaseTiming(start, self.cluster.now)
+        return results
+
+    def _value_down_pass(
+        self, node: SimNode, plan: NodePlan, spec: ReduceSpec, out_values, inst: int
+    ):
+        """Values ride the memoised routes downward; returns the node's
+        fully reduced bottom partial (aligned with ``bottom_out_keys``)."""
+        rank = self._logical(node.rank)
+        ufunc = reduction_ufunc(spec.op)
+        identity = reduction_identity(spec.op, spec.dtype)
+        v = self._aligned_out_values(rank, plan, spec, out_values)
+        for layer, lp in enumerate(plan.layers, start=1):
+            tag = (self.name, "rd", inst, layer)
+            for q, member in enumerate(lp.group):
+                self._send_to(
+                    node,
+                    member,
+                    v[lp.out_slices[q]],
+                    tag=tag,
+                    phase=PHASE_REDUCE_DOWN,
+                    layer=layer,
+                )
+            partial = np.full(
+                (lp.out_union_size, *spec.value_shape), identity, dtype=spec.dtype
+            )
+            msgs = yield from self._recv_group(node, tag, lp.pos_of, len(lp.group))
+            recv_bytes = 0
+            for q, msg in enumerate(msgs):
+                # Positions within one map are unique, so the combine can
+                # use plain fancy indexing rather than ufunc.at.
+                m = lp.out_recv_maps[q]
+                partial[m] = ufunc(partial[m], msg.payload)
+                recv_bytes += msg.nbytes
+            yield node.compute_bytes(recv_bytes)
+            v = partial
+        return v
+
+    def _reduce_proto(
+        self, node: SimNode, spec: ReduceSpec, out_values: Mapping[int, np.ndarray], inst: int
+    ):
+        rank = self._logical(node.rank)
+        plan = self.plans[node.rank]
+        v = yield from self._value_down_pass(node, plan, spec, out_values, inst)
+        r = self._bottom_projection(rank, plan, spec, v)
+        r = yield from self._up_pass(node, plan, spec, r, inst)
+        return r[plan.in_inverse]
+
+    def _scatter_proto(
+        self, node: SimNode, spec: ReduceSpec, out_values: Mapping[int, np.ndarray], inst: int
+    ):
+        plan = self.plans[node.rank]
+        v = yield from self._value_down_pass(node, plan, spec, out_values, inst)
+        return v
+
+    def _gather_proto(
+        self, node: SimNode, spec: ReduceSpec, bottom_values: Mapping[int, np.ndarray], inst: int
+    ):
+        rank = self._logical(node.rank)
+        plan = self.plans[node.rank]
+        v = np.asarray(bottom_values[rank], dtype=spec.dtype)
+        if v.shape != (plan.bottom_out_keys.size, *spec.value_shape):
+            raise ValueError(
+                f"rank {rank}: bottom values shape {v.shape} does not match "
+                f"the bottom range ({plan.bottom_out_keys.size} keys)"
+            )
+        r = self._bottom_projection(rank, plan, spec, v)
+        r = yield from self._up_pass(node, plan, spec, r, inst)
+        return r[plan.in_inverse]
+
+    def _combined_proto(
+        self, node: SimNode, spec: ReduceSpec, out_values: Mapping[int, np.ndarray], inst: int
+    ):
+        rank = self._logical(node.rank)
+        plan, v = yield from self._down_pass(node, spec, inst, values=out_values)
+        r = self._bottom_projection(rank, plan, spec, v)
+        r = yield from self._up_pass(node, plan, spec, r, inst)
+        return plan, r[plan.in_inverse]
+
+    # ------------------------------------------------------------------
+    def allreduce(
+        self, spec: ReduceSpec, out_values: Mapping[int, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        """One-shot convenience: configure then reduce."""
+        self.configure(spec)
+        return self.reduce(out_values)
+
+    def scatter_reduce(
+        self, out_values: Mapping[int, np.ndarray]
+    ) -> Dict[int, tuple]:
+        """The downward half only: a sparse **reduce-scatter**.
+
+        Each logical node ends up holding the *fully reduced* values for
+        its bottom nested key range.  Returns ``{rank: (indices, values)}``
+        with raw (un-hashed) indices.  Composes with
+        :meth:`allgather_from_bottom` — ``reduce()`` is exactly the two in
+        sequence — so callers can transform globally-reduced data in place
+        (normalise, clip, apply a model update at its home) before fanning
+        results back out.
+        """
+        if self.spec is None:
+            raise RuntimeError("configure() must run before scatter_reduce()")
+        self._instance += 1
+        start = self.cluster.now
+        raw = self.cluster.run(
+            self._scatter_proto, self.spec, out_values, self._instance
+        )
+        self.last_reduce_timing = PhaseTiming(start, self.cluster.now)
+        out = {}
+        for rank, v in raw.items():
+            lr = self._logical(rank)
+            keys = self.plans[rank].bottom_out_keys
+            out[lr] = (self.hasher.unhash(keys), v)
+        return out
+
+    def allgather_from_bottom(
+        self, bottom_values: Mapping[int, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        """The upward half only: a sparse **allgather**.
+
+        ``bottom_values[rank]`` must align with the indices returned by
+        :meth:`scatter_reduce` for that rank; every node receives the
+        values for its configured in-set.
+        """
+        if self.spec is None:
+            raise RuntimeError("configure() must run before allgather_from_bottom()")
+        # physical plans may outnumber logical ranks (replication)
+        values = {
+            self._logical(rank): bottom_values[self._logical(rank)]
+            for rank in self.plans
+        }
+        self._instance += 1
+        start = self.cluster.now
+        raw = self.cluster.run(
+            self._gather_proto, self.spec, values, self._instance
+        )
+        self.last_reduce_timing = PhaseTiming(start, self.cluster.now)
+        return {self._logical(r): v for r, v in raw.items()}
+
+    def allreduce_combined(
+        self, spec: ReduceSpec, out_values: Mapping[int, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        """Configuration and reduction with *combined* messages (§III).
+
+        When in/out index sets change on every allreduce (minibatch
+        updates), a separate config pass wastes a full network traversal;
+        here index parts and value parts share the same downward messages.
+        The routing plan built along the way is kept, so subsequent
+        :meth:`reduce` calls (same index sets) work as usual.
+        """
+        expected = set(range(self.size))
+        if set(spec.ranks) != expected:
+            raise ValueError(
+                f"spec must cover every logical rank (got {len(spec.ranks)} of "
+                f"{self.size})"
+            )
+        self.spec = spec
+        self._instance += 1
+        inst = self._instance
+        start = self.cluster.now
+        raw = self.cluster.run(self._combined_proto, spec, out_values, inst)
+        self.plans = {rank: pr[0] for rank, pr in raw.items()}
+        self.last_combined_timing = PhaseTiming(start, self.cluster.now)
+        return {self._logical(rank): pr[1] for rank, pr in raw.items()}
+
+
+def _expand(mask: np.ndarray, ndim: int) -> np.ndarray:
+    """Broadcast a row mask over trailing value dimensions."""
+    return mask.reshape(mask.shape + (1,) * (ndim - 1))

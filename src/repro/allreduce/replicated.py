@@ -1,0 +1,123 @@
+"""Replicated Kylix: fault tolerance via data replication + packet racing (§V).
+
+With replication factor ``s``, the ``m`` physical machines host
+``m' = m/s`` *logical* slots: physical node ``p`` is replica ``p // m'``
+of logical slot ``p % m'`` (the paper: "data on machine i also appears on
+the replicas m+i through i+(s-1)*m").  The butterfly runs over logical
+slots; every logical message is sent by each live replica of the source to
+*every* replica of the destination, and a receiver uses the first copy
+that arrives — **packet racing** — skipping later duplicates.
+
+Consequences reproduced from the paper:
+
+* The protocol completes unless *all* replicas of some slot are dead; with
+  ``s = 2`` the expected number of random failures survived is ~``√m`` by
+  the birthday paradox.
+* Per-node communication rises by up to ``s``×, but racing recovers part
+  of it on jittery networks (the minimum of ``s`` latency draws beats the
+  mean), so measured overhead is "modest": Table I reports ~25% on config
+  and ~60% on reduce, flat in the number of dead nodes (up to 3 tested).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..cluster import Cluster, SimNode
+from ..sparse import IndexHasher
+from .base import ReduceSpec
+from .kylix import KylixAllreduce
+
+__all__ = ["ReplicatedKylix", "expected_failures_survived"]
+
+
+def expected_failures_survived(num_logical: int, replication: int = 2) -> float:
+    """Birthday-paradox estimate of tolerable random failures (§V-A).
+
+    For replication 2 the network survives until two failures land on the
+    same replica group: about ``√m`` failures in expectation (the paper's
+    figure).  For general ``s`` the generalized birthday bound gives
+    ``(s! · m^(s-1))^(1/s) · Γ(1 + 1/s)`` — superlinear gains per extra
+    replica.
+    """
+    if replication < 2:
+        return 0.0
+    if replication == 2:
+        return float(np.sqrt(num_logical))
+    from math import factorial, gamma
+
+    s = replication
+    return float(
+        (factorial(s) * num_logical ** (s - 1)) ** (1.0 / s) * gamma(1.0 + 1.0 / s)
+    )
+
+
+class ReplicatedKylix(KylixAllreduce):
+    """Kylix with an ``s``-way replication layer and packet racing."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        degrees: Sequence[int],
+        *,
+        replication: int = 2,
+        hasher: Optional[IndexHasher] = None,
+        strict_coverage: bool = True,
+        name: str = "kylix-rep",
+    ):
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        if cluster.num_nodes % replication:
+            raise ValueError(
+                f"cluster size {cluster.num_nodes} not divisible by "
+                f"replication {replication}"
+            )
+        self.replication = replication
+        super().__init__(
+            cluster,
+            degrees,
+            hasher=hasher,
+            strict_coverage=strict_coverage,
+            name=name,
+        )
+
+    # -- logical/physical mapping ----------------------------------------
+    def _logical_size(self) -> int:
+        return self.cluster.num_nodes // self.replication
+
+    def _logical(self, physical_rank: int) -> int:
+        return physical_rank % self.size
+
+    def replicas(self, logical_rank: int) -> list[int]:
+        """Physical nodes hosting ``logical_rank``."""
+        return [logical_rank + r * self.size for r in range(self.replication)]
+
+    def _send_to(self, node: SimNode, logical_dst: int, payload, *, tag, phase, layer):
+        for dst in self.replicas(logical_dst):
+            node.send(dst, payload, tag=tag, phase=phase, layer=layer)
+
+    def _pos_from_src(self, src: int, pos_of: Dict[int, int]) -> int:
+        return pos_of[self._logical(src)]
+
+    # -- result collation ----------------------------------------------------
+    def _first_live_replica(self, logical_rank: int) -> int:
+        for p in self.replicas(logical_rank):
+            if self.cluster.is_alive(p):
+                return p
+        raise RuntimeError(
+            f"all {self.replication} replicas of logical slot {logical_rank} are dead"
+        )
+
+    def reduce(self, out_values: Mapping[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        """Reduce; returns values keyed by *logical* rank.
+
+        Every live replica computes the full result for its slot; the
+        answer for each slot is taken from its first live replica (all
+        replicas hold identical values).
+        """
+        physical = super().reduce(out_values)
+        return {
+            lr: physical[self._first_live_replica(lr)] for lr in range(self.size)
+        }

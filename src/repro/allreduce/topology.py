@@ -1,0 +1,116 @@
+"""Generalized (heterogeneous-degree) butterfly topology (§II-A.3, §III).
+
+``m = d_1 · d_2 ⋯ d_l`` nodes are laid out on a mixed-radix grid: node id
+``j`` has digits ``(q_1, …, q_l)`` with radices ``(d_1, …, d_l)``; digit
+``q_i`` is ``(j // stride_i) % d_i`` where ``stride_i = d_{i+1}···d_l``.
+
+* The **layer-i group** of ``j`` is the set of ``d_i`` nodes whose digits
+  agree with ``j`` everywhere except digit ``i`` — a line of the grid.
+* A node's **key range at layer i** nests: start with the full hashed key
+  space and take sub-range ``q_1`` of ``d_1`` parts, then sub-range
+  ``q_2`` of ``d_2`` parts of *that*, etc.  Nodes in the same layer-i
+  group share digits ``1..i-1``, hence share the layer-``i-1`` range —
+  this is precisely the nesting property that maximises index collisions
+  in lower layers and lets the allgather return pass collapse.
+
+Degenerate stacks give the classical topologies: ``[m]`` is direct
+all-to-all, ``[2]*log2(m)`` the binary butterfly.
+"""
+
+from __future__ import annotations
+
+from math import prod
+from typing import Sequence
+
+from ..sparse import KeyRange
+
+__all__ = ["ButterflyTopology", "validate_degrees"]
+
+
+def validate_degrees(degrees: Sequence[int], num_nodes: int) -> tuple[int, ...]:
+    degrees = tuple(int(d) for d in degrees)
+    if not degrees:
+        raise ValueError("need at least one layer")
+    if any(d < 1 for d in degrees):
+        raise ValueError(f"degrees must be >= 1, got {degrees}")
+    if prod(degrees) != num_nodes:
+        raise ValueError(
+            f"product of degrees {degrees} = {prod(degrees)} != cluster size {num_nodes}"
+        )
+    return degrees
+
+
+class ButterflyTopology:
+    """Mixed-radix butterfly group/range structure for one degree stack."""
+
+    def __init__(self, degrees: Sequence[int], num_nodes: int, key_space: int = 1 << 64):
+        self.degrees = validate_degrees(degrees, num_nodes)
+        self.num_nodes = num_nodes
+        self.num_layers = len(self.degrees)
+        self.key_space = key_space
+        # stride_i = product of degrees below layer i (1-indexed layers).
+        self._strides = []
+        s = num_nodes
+        for d in self.degrees:
+            s //= d
+            self._strides.append(s)
+
+    # -- digits ------------------------------------------------------------
+    def digit(self, node: int, layer: int) -> int:
+        """Digit ``q_layer`` of ``node`` (layers are 1-indexed)."""
+        self._check(node, layer)
+        return (node // self._strides[layer - 1]) % self.degrees[layer - 1]
+
+    def digits(self, node: int) -> tuple[int, ...]:
+        return tuple(self.digit(node, i) for i in range(1, self.num_layers + 1))
+
+    def node_from_digits(self, digits: Sequence[int]) -> int:
+        if len(digits) != self.num_layers:
+            raise ValueError("wrong digit count")
+        node = 0
+        for q, d, s in zip(digits, self.degrees, self._strides):
+            if not 0 <= q < d:
+                raise ValueError(f"digit {q} out of range for radix {d}")
+            node += q * s
+        return node
+
+    # -- groups ------------------------------------------------------------
+    def group(self, node: int, layer: int) -> list[int]:
+        """The ``d_layer`` members of ``node``'s layer group, position order.
+
+        ``group(node, i)[q]`` is the member with digit ``q_i = q``; the
+        member equal to ``node`` sits at position ``self.digit(node, i)``.
+        """
+        self._check(node, layer)
+        d = self.degrees[layer - 1]
+        stride = self._strides[layer - 1]
+        base = node - self.digit(node, layer) * stride
+        return [base + q * stride for q in range(d)]
+
+    def position(self, node: int, layer: int) -> int:
+        """``node``'s position within its layer group (= its digit)."""
+        return self.digit(node, layer)
+
+    # -- nested ranges ------------------------------------------------------
+    def key_range(self, node: int, layer: int) -> KeyRange:
+        """Hashed-key range node ``node`` owns after layer ``layer``.
+
+        ``layer=0`` is the full space (node layer 0 holds unpartitioned
+        data); ``layer=l`` is the node's final scatter-reduce range.
+        """
+        if not 0 <= layer <= self.num_layers:
+            raise ValueError(f"layer {layer} out of range")
+        rng = KeyRange.full(self.key_space)
+        for i in range(1, layer + 1):
+            rng = rng.subrange(self.digit(node, i), self.degrees[i - 1])
+        return rng
+
+    # -- sanity ------------------------------------------------------------
+    def _check(self, node: int, layer: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        if not 1 <= layer <= self.num_layers:
+            raise ValueError(f"layer {layer} out of range (1..{self.num_layers})")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ButterflyTopology({'x'.join(map(str, self.degrees))}, m={self.num_nodes})"

@@ -1,0 +1,134 @@
+"""Tree allreduce (§II-A.1) — kept as a cautionary baseline.
+
+A binary reduction tree: leaves push their sparse vectors to parents,
+parents merge and push up, the root holds the full reduction and
+broadcasts it back down; every node then projects onto its in-set.
+
+The paper dismisses this topology for sparse workloads: "intermediate
+reductions grow in size … the middle (full reduction) node will have
+complete (fully dense) data which will often be intractably large", plus
+latency is set by the slowest path and there is no fault tolerance.  Our
+implementation exists precisely to *measure* that blow-up (root volume vs
+leaf volume) next to Kylix's collapsing layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..cluster import Cluster, SimNode
+from ..sparse import IndexHasher, MultiplicativeHasher, SparseVector
+from .base import CoverageError, ReduceSpec, reduction_identity, reduction_ufunc
+
+__all__ = ["TreeAllreduce"]
+
+PHASE_TREE_UP = "tree_up"
+PHASE_TREE_DOWN = "tree_down"
+
+
+class TreeAllreduce:
+    """Binary-tree sparse allreduce over a simulated cluster.
+
+    Node 0 is the root; node ``i`` has parent ``(i-1)//2`` and children
+    ``2i+1`` / ``2i+2`` (a complete binary tree over ranks, depth
+    ``⌈log2 m⌉``).  Implements the same ReduceSpec interface as Kylix.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        hasher: Optional[IndexHasher] = None,
+        strict_coverage: bool = True,
+    ):
+        self.cluster = cluster
+        self.hasher = hasher if hasher is not None else MultiplicativeHasher()
+        self.strict_coverage = strict_coverage
+        self.spec: Optional[ReduceSpec] = None
+        self._instance = 0
+        self.root_nnz = 0  # size of the full reduction at the root (the blow-up)
+
+    # -- tree shape ---------------------------------------------------------
+    def parent(self, rank: int) -> Optional[int]:
+        return None if rank == 0 else (rank - 1) // 2
+
+    def children(self, rank: int) -> list[int]:
+        m = self.cluster.num_nodes
+        return [c for c in (2 * rank + 1, 2 * rank + 2) if c < m]
+
+    def depth(self, rank: int) -> int:
+        d = 0
+        while rank:
+            rank = (rank - 1) // 2
+            d += 1
+        return d
+
+    # -- execution ------------------------------------------------------------
+    def allreduce(
+        self, spec: ReduceSpec, out_values: Mapping[int, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        if set(spec.ranks) != set(range(self.cluster.num_nodes)):
+            raise ValueError("spec must cover every cluster rank")
+        self.spec = spec
+        self._instance += 1
+        return self.cluster.run(self._proto, spec, out_values, self._instance)
+
+    def _proto(
+        self, node: SimNode, spec: ReduceSpec, out_values: Mapping[int, np.ndarray], inst: int
+    ):
+        rank = node.rank
+        keys = self.hasher.hash(spec.out_indices[rank])
+        vals = np.asarray(out_values[rank], dtype=spec.dtype)
+        if vals.shape != (keys.size, *spec.value_shape):
+            raise ValueError(f"rank {rank}: misaligned out values")
+        ufunc = reduction_ufunc(spec.op)
+        identity = reduction_identity(spec.op, spec.dtype)
+        if spec.op == "sum":
+            acc = SparseVector.from_unsorted(keys, vals)
+        else:
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            merged = np.full((uniq.size, *spec.value_shape), identity, dtype=spec.dtype)
+            ufunc.at(merged, inverse, vals)
+            acc = SparseVector(uniq, merged, validate=False)
+        depth = self.depth(rank)
+
+        # Upward: merge children, forward to parent.
+        up_tag = ("tree", "up", inst)
+        for _ in self.children(rank):
+            msg = yield node.recv(tag=up_tag)
+            child_vec: SparseVector = msg.payload
+            yield node.compute_bytes(msg.nbytes + acc.nbytes)
+            acc = acc.combine(child_vec, ufunc, identity)
+        parent = self.parent(rank)
+        if parent is not None:
+            node.send(parent, acc, tag=up_tag, phase=PHASE_TREE_UP, layer=depth)
+            total_msg = yield node.recv(tag=("tree", "down", inst))
+            total: SparseVector = total_msg.payload
+            yield node.compute_bytes(total_msg.nbytes)
+        else:
+            total = acc
+            self.root_nnz = acc.nnz
+
+        # Downward: broadcast the full reduction to children.
+        for child in self.children(rank):
+            node.send(
+                child, total, tag=("tree", "down", inst), phase=PHASE_TREE_DOWN, layer=depth
+            )
+
+        # Project onto the requested in-set.
+        want = np.unique(self.hasher.hash(spec.in_indices[rank]))
+        restricted = total.restrict(want, fill=identity)
+        if self.strict_coverage and want.size:
+            pos = np.searchsorted(total.keys, want)
+            clipped = np.minimum(pos, max(total.keys.size - 1, 0))
+            hit = total.keys[clipped] == want if total.keys.size else np.zeros(want.size, bool)
+            if not bool(hit.all()):
+                raise CoverageError(
+                    f"rank {rank}: {int((~hit).sum())} requested indices uncovered"
+                )
+        # Align with the caller's original (possibly duplicated) order.
+        raw = self.hasher.hash(spec.in_indices[rank])
+        inv = np.searchsorted(want, raw).astype(np.intp)
+        return restricted.values[inv]

@@ -1,0 +1,17 @@
+"""Baseline systems the paper compares against (Fig 8).
+
+* :class:`PowerGraphPageRank` — GAS engine over direct all-to-all
+  messaging on the same simulated fabric;
+* :class:`HadoopCostModel` — analytic Pegasus/MapReduce iteration cost,
+  validated against the paper's published Pegasus anchor.
+"""
+
+from .hadoop import PEGASUS_PUBLISHED, HadoopCostModel
+from .powergraph import GAS_COMPUTE_SCALE, PowerGraphPageRank
+
+__all__ = [
+    "HadoopCostModel",
+    "PEGASUS_PUBLISHED",
+    "PowerGraphPageRank",
+    "GAS_COMPUTE_SCALE",
+]

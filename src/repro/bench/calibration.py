@@ -1,0 +1,162 @@
+"""Calibration: paper targets, scaled workloads, and scaled network params.
+
+Single source of truth for every constant the benchmark harness uses.
+
+**Scaling rule.**  The paper's experiments move ~50 MB of per-node data
+over a fabric whose minimum efficient packet is ~5 MB — a data-to-packet
+ratio of ~10.  Our scaled datasets are ~150× smaller, so running them on
+the raw EC2 parameters would put *every* topology deep in the overhead-
+dominated regime and distort the comparisons.  :func:`scaled_params`
+therefore shrinks the per-message overhead (and latency) by the same
+factor as the data, preserving the paper's ratio of packet size to
+minimum efficient packet size — the quantity Figs 2/6 show actually
+matters.  Bandwidth is left untouched, so byte volumes translate to
+seconds on the same scale as the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..cluster import Cluster
+from ..data import Dataset, twitter_like, yahoo_like
+from ..netmodel import EC2_LIKE, NetworkParams
+
+__all__ = [
+    "PAPER",
+    "BYTES_PER_ELEMENT",
+    "MIN_PACKET_BYTES",
+    "KYLIX_COMPUTE_RATE",
+    "SERVICE_SIGMA",
+    "LATENCY_SIGMA",
+    "INCAST_FACTOR",
+    "RECV_BYTE_CPU",
+    "bench_twitter",
+    "bench_yahoo",
+    "scaled_params",
+    "make_cluster",
+    "dataset_per_node_bytes",
+]
+
+#: Published numbers from the paper's evaluation (§VII) — the targets the
+#: EXPERIMENTS.md table compares against.
+PAPER = {
+    "twitter": {
+        "n_vertices": 60e6,
+        "n_edges": 1.5e9,
+        "partition_density": 0.21,
+        "optimal_degrees": (8, 4, 2),
+        "pagerank_s_per_iter": 0.55,
+    },
+    "yahoo": {
+        "n_vertices": 1.4e9,
+        "n_edges": 6e9,
+        "partition_density": 0.035,
+        "optimal_degrees": (16, 4),
+        "pagerank_s_per_iter": 2.5,
+    },
+    "min_efficient_packet_bytes": 5e6,
+    "direct_twitter_packet_bytes": 0.4e6,  # ~30% of peak (Fig 2 anchor)
+    "kylix_vs_direct_speedup": (3, 5),
+    "kylix_vs_powergraph_speedup": (3, 7),
+    "kylix_vs_hadoop_speedup": 500,
+    "speedup_64_nodes": (7, 11),
+    "comm_share_64_nodes": (0.75, 0.90),
+    "replication_config_overhead": 0.25,  # Table I: ~+25%
+    "replication_reduce_overhead": 0.60,  # Table I: ~+60%
+    "per_node_data_bytes": 50e6,  # Twitter: 0.21 * 60M * 4B elements
+}
+
+#: Reduce-phase elements are 4-byte floats in the paper's Java system;
+#: the design workflow sizes packets in these units.
+BYTES_PER_ELEMENT = 4
+MIN_PACKET_BYTES = 5e6
+
+#: Commodity-cloud variability used by the timing benchmarks: mean-1
+#: lognormal jitter on per-message service/latency, and the TCP-incast
+#: penalty (in units of the per-message overhead) charged to contended
+#: fan-in arrivals.  Calibrated so the Fig-6 topology comparison lands in
+#: the paper's measured range (direct 3-5x slower than the optimal
+#: butterfly on Twitter-like data).
+SERVICE_SIGMA = 1.0
+LATENCY_SIGMA = 1.0
+INCAST_FACTOR = 28.0
+
+#: Receive-side processing rate (~330 MB/s — Java stream deserialisation
+#: and buffer copies), overlapped by receiver threads (Fig 7's variable).
+RECV_BYTE_CPU = 3e-9
+
+#: Effective local kernel rate of the BIDMat(MKL)-class implementation,
+#: in touched bytes/s.  16 B per edge at 1e9 B/s ≈ 60M edges/s/node —
+#: realistic for CSR SpMV with random gathers on 2012-class Xeons — and
+#: lands the Fig-9 compute/communication split near the paper's.
+KYLIX_COMPUTE_RATE = 1.0e9
+
+# Scaled dataset sizes for benchmarks (≈150-300x below paper scale).
+BENCH_TWITTER_VERTICES = 100_000
+BENCH_YAHOO_VERTICES = 200_000
+
+_cache: dict = {}
+
+
+def bench_twitter(m: int = 64) -> Dataset:
+    """Cached Twitter-like benchmark dataset partitioned ``m`` ways."""
+    key = ("tw", m)
+    if key not in _cache:
+        _cache[key] = twitter_like(m, n_vertices=BENCH_TWITTER_VERTICES)
+    return _cache[key]
+
+
+def bench_yahoo(m: int = 64) -> Dataset:
+    key = ("ya", m)
+    if key not in _cache:
+        _cache[key] = yahoo_like(m, n_vertices=BENCH_YAHOO_VERTICES)
+    return _cache[key]
+
+
+def dataset_per_node_bytes(dataset: Dataset, bytes_per_element: int = 16) -> float:
+    """Mean per-node sparse-vector footprint (keys + values on the wire)."""
+    sizes = [p.in_vertices.size for p in dataset.partitions]
+    return float(sum(sizes) / len(sizes)) * bytes_per_element
+
+
+def scaled_params(dataset: Dataset, base: NetworkParams = EC2_LIKE) -> NetworkParams:
+    """EC2-like fabric with overhead/latency shrunk by the data scale.
+
+    Keeps packet-size/minimum-efficient-packet ratios at paper levels so
+    topology comparisons land in the same operating regime as Fig 6.
+    """
+    scale = dataset_per_node_bytes(dataset) / PAPER["per_node_data_bytes"]
+    overhead = base.message_overhead * scale
+    return replace(
+        base,
+        message_overhead=overhead,
+        base_latency=base.base_latency * scale,
+        service_sigma=SERVICE_SIGMA,
+        latency_sigma=LATENCY_SIGMA,
+        incast_overhead=INCAST_FACTOR * overhead,
+        recv_byte_cpu=RECV_BYTE_CPU,
+    )
+
+
+def make_cluster(
+    dataset: Dataset,
+    *,
+    m: int | None = None,
+    threads: int = 16,
+    latency_sigma: float = 0.0,
+    failures=None,
+    seed: int = 0,
+) -> Cluster:
+    """A cluster sized/parameterised for one benchmark dataset."""
+    params = scaled_params(dataset)
+    if latency_sigma:
+        params = replace(params, latency_sigma=latency_sigma)
+    return Cluster(
+        m if m is not None else dataset.m,
+        params=params,
+        threads=threads,
+        compute_rate=KYLIX_COMPUTE_RATE,
+        failures=failures,
+        seed=seed,
+    )

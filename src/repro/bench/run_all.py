@@ -1,0 +1,158 @@
+"""Regenerate every table and figure of the paper's evaluation as text.
+
+Usage::
+
+    python -m repro.bench.run_all                    # print everything
+    python -m repro.bench.run_all fig5 fig6          # selected experiments
+    python -m repro.bench.run_all --json out.json    # also dump raw data
+
+Output is deterministic (all randomness is seeded), so the tables here
+are exactly what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+import time
+
+import numpy as np
+
+from . import calibration as cal
+from .experiments import (
+    run_design_workflow,
+    run_fig2,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_table1,
+)
+
+
+def _show(result):
+    print(result.table())
+    return result
+
+
+def _fig2():
+    return [_show(run_fig2())]
+
+
+def _fig4():
+    return [_show(run_fig4())]
+
+
+def _fig5():
+    return [
+        _show(run_fig5(cal.bench_twitter(), [8, 4, 2])),
+        _show(run_fig5(cal.bench_yahoo(), [16, 4])),
+    ]
+
+
+def _fig6():
+    out = []
+    for ds, deg in ((cal.bench_twitter(), [8, 4, 2]), (cal.bench_yahoo(), [16, 4])):
+        r = _show(run_fig6(ds, deg))
+        opt = r.by_name("optimal butterfly")
+        print(
+            f"  -> direct/optimal = {r.by_name('direct').total_s / opt.total_s:.2f}x, "
+            f"binary/optimal = {r.by_name('binary butterfly').total_s / opt.total_s:.2f}x"
+        )
+        out.append(r)
+    return out
+
+
+def _fig7():
+    return [_show(run_fig7(cal.bench_twitter(), [8, 4, 2]))]
+
+
+def _table1():
+    return [_show(run_table1(cal.bench_twitter(), cal.bench_twitter(32)))]
+
+
+def _fig8():
+    out = []
+    for ds, deg, key in (
+        (cal.bench_twitter(), [8, 4, 2], "twitter"),
+        (cal.bench_yahoo(), [16, 4], "yahoo"),
+    ):
+        out.append(_show(run_fig8(ds, deg, paper_edges=cal.PAPER[key]["n_edges"])))
+    return out
+
+
+def _fig9():
+    return [
+        _show(run_fig9(cal.bench_twitter())),
+        _show(run_fig9(cal.bench_yahoo())),
+    ]
+
+
+def _design():
+    return [_show(run_design_workflow())]
+
+
+def _jsonable(obj):
+    """Dataclass/numpy-tolerant JSON conversion."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer, np.floating)):
+        return obj.item()
+    return obj
+
+
+EXPERIMENTS = {
+    "fig2": _fig2,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "table1": _table1,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "design": _design,
+}
+
+
+def main(argv: list[str]) -> int:
+    json_path = None
+    args = list(argv)
+    if "--json" in args:
+        i = args.index("--json")
+        try:
+            json_path = args[i + 1]
+        except IndexError:
+            print("--json needs a path")
+            return 2
+        del args[i : i + 2]
+    wanted = args or list(EXPERIMENTS)
+    unknown = [w for w in wanted if w not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments {unknown}; choose from {list(EXPERIMENTS)}")
+        return 2
+    collected = {}
+    for name in wanted:
+        t0 = time.time()
+        collected[name] = [_jsonable(r) for r in EXPERIMENTS[name]()]
+        print(f"\n[{name} regenerated in {time.time() - t0:.1f}s wall]\n")
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(collected, fh, indent=1)
+        print(f"raw experiment data written to {json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

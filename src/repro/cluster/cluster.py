@@ -1,0 +1,189 @@
+"""The simulated commodity cluster: nodes + fabric + failure oracle.
+
+A :class:`Cluster` wires an event engine, a message fabric with the
+EC2-like cost model, per-node compute accounting, and a failure plan into
+one object.  Protocols run via :meth:`Cluster.run`, which spawns one
+simulation process per participating node and executes the event loop to
+completion — the returned per-node values and the advanced simulated clock
+are the experiment's outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Sequence
+
+from ..netmodel import EC2_LIKE, NetworkParams
+from ..simul import Engine
+from .fabric import Fabric
+from .failures import FailurePlan
+from .node import SimNode
+from .stats import TrafficStats
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A simulated cluster of ``num_nodes`` commodity machines.
+
+    Parameters
+    ----------
+    num_nodes:
+        Cluster size ``m``.
+    params:
+        Interconnect model; defaults to the EC2-calibrated bundle.
+    threads / hw_threads:
+        Software message threads per node and the physical thread count
+        (Fig 7's experiment varies ``threads`` at fixed ``hw_threads=16``).
+    compute_rate:
+        Effective bytes/s for memory-bound local kernels (merge,
+        scatter-add); converts data footprint into simulated compute time.
+    node_speeds:
+        Optional per-node compute-speed multipliers (1.0 = nominal);
+        models §II's "variable compute node performance and external
+        loads" — a 0.5 node takes twice as long for the same kernel.
+    failures:
+        Optional :class:`FailurePlan`; dead nodes drop all traffic.
+    seed:
+        Seeds latency jitter; identical seeds give identical runs.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        params: NetworkParams = EC2_LIKE,
+        *,
+        threads: int = 16,
+        hw_threads: int = 16,
+        compute_rate: float = 1.0e9,
+        node_speeds: Optional[Sequence[float]] = None,
+        failures: Optional[FailurePlan] = None,
+        seed: int = 0,
+    ):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if compute_rate <= 0:
+            raise ValueError("compute_rate must be positive")
+        if node_speeds is not None:
+            node_speeds = [float(x) for x in node_speeds]
+            if len(node_speeds) != num_nodes:
+                raise ValueError("need one speed per node")
+            if any(x <= 0 for x in node_speeds):
+                raise ValueError("node speeds must be positive")
+        self.num_nodes = num_nodes
+        self.params = params
+        self.compute_rate = compute_rate
+        self.engine = Engine()
+        self.stats = TrafficStats()
+        self.failures = failures or FailurePlan.none()
+        self.fabric = Fabric(
+            self.engine,
+            params,
+            num_nodes,
+            threads=threads,
+            hw_threads=hw_threads,
+            seed=seed,
+            stats=self.stats,
+        )
+        self.fabric.set_liveness(lambda i: self.failures.is_alive(i, self.engine.now))
+        self.node_speeds = node_speeds or [1.0] * num_nodes
+        self.compute_seconds = [0.0] * num_nodes
+        self._nodes = [SimNode(self, i) for i in range(num_nodes)]
+
+    # -- access ------------------------------------------------------------
+    def node(self, rank: int) -> SimNode:
+        return self._nodes[rank]
+
+    def is_alive(self, rank: int) -> bool:
+        return self.failures.is_alive(rank, self.engine.now)
+
+    @property
+    def live_nodes(self) -> list[int]:
+        return [i for i in range(self.num_nodes) if self.is_alive(i)]
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def pending_messages(self) -> int:
+        """Messages sitting undelivered in mailboxes.
+
+        Zero after any unreplicated protocol completes (every message is
+        consumed); replicated runs legitimately leave losing race copies
+        behind.  Useful as a leak check in tests.
+        """
+        return sum(len(box) for box in self.fabric.mailboxes)
+
+    @property
+    def total_compute_seconds(self) -> float:
+        return sum(self.compute_seconds)
+
+    @property
+    def max_compute_seconds(self) -> float:
+        return max(self.compute_seconds)
+
+    # -- execution ------------------------------------------------------------
+    def run(
+        self,
+        protocol: Callable[..., Any],
+        *args: Any,
+        nodes: Optional[Sequence[int]] = None,
+        **kwargs: Any,
+    ) -> Dict[int, Any]:
+        """Run ``protocol(node, *args, **kwargs)`` on every (live) node.
+
+        ``protocol`` must be a generator function; one simulation process
+        is spawned per node.  Runs the engine until every spawned process
+        completes, then returns ``{rank: return value}``.  A protocol
+        exception on any node propagates out (simulation bugs fail fast);
+        waiting forever for a dead node raises a deadlock error unless the
+        protocol (e.g. replicated Kylix) tolerates it.
+        """
+        participants = list(nodes) if nodes is not None else self.live_nodes
+        procs = {
+            rank: self.engine.process(protocol(self._nodes[rank], *args, **kwargs))
+            for rank in participants
+        }
+        if len(self.failures) == 0:
+            self.engine.run_until_complete(*procs.values())
+            return {rank: proc.value for rank, proc in procs.items()}
+
+        # With a failure plan, processes on nodes that die mid-run are
+        # abandoned (a dead machine finishes nothing); completion is
+        # required only of nodes still alive.
+        def settled() -> bool:
+            return all(
+                p.triggered or not self.is_alive(r) for r, p in procs.items()
+            )
+
+        while self.engine._queue and not settled():
+            self.engine.step()
+        for rank, p in procs.items():
+            if p.triggered and p.ok is False:
+                raise p.value
+        from ..simul import SimulationError
+
+        for rank, p in procs.items():
+            if not p.triggered and self.is_alive(rank):
+                raise SimulationError(
+                    f"deadlock: live node {rank} still waiting after the "
+                    "event queue drained (all replicas of a peer dead?)"
+                )
+        return {
+            rank: p.value for rank, p in procs.items() if p.triggered and p.ok
+        }
+
+    def parallel_compute(self, seconds_by_rank: Mapping[int, float]) -> float:
+        """Charge per-node local computation, in parallel across nodes.
+
+        Application drivers (PageRank, SGD) call this between allreduces:
+        simulated time advances by the *maximum* charge (nodes compute
+        concurrently), and each node's compute account is billed for the
+        Fig-9 compute/communication breakdown.  Returns the elapsed time.
+        """
+
+        def proto(node: SimNode):
+            yield node.compute(float(seconds_by_rank.get(node.rank, 0.0)))
+
+        start = self.engine.now
+        self.run(proto)
+        return self.engine.now - start

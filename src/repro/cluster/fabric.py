@@ -1,0 +1,205 @@
+"""The message fabric: point-to-point transfers with NIC contention.
+
+Cost model (a LogGP variant matched to the paper's observations):
+
+* **Sender CPU overhead** ``t0`` per message (TCP stack, copies).  With
+  ``T`` sender threads up to ``T`` overheads overlap — this is the §VI-B
+  multi-threading effect (Fig 7).  Past the hardware thread count a
+  switching penalty inflates the overhead.
+* **Egress serialization**: the sender NIC pushes ``size/B`` seconds of
+  bytes per message; concurrent sends from one node serialize here.
+* **Propagation latency**: sampled from :class:`LatencyModel` (lognormal
+  jitter on commodity clouds), overlapped with other messages.
+* **Ingress serialization**: a receiver NIC absorbs at most ``B`` bytes/s
+  total, so fan-in serializes at the destination.
+
+A single isolated message therefore takes ``t0 + latency + size/B`` — the
+effective-throughput curve of Fig 2 falls straight out of this model, and
+the fabric-measured curve is validated against the analytic one in the
+benchmarks.
+
+Messages to self bypass the network entirely (delivered next tick) but are
+still reported to :class:`TrafficStats`, since the paper's Fig 5 counts
+"packets to its own" in communication volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..netmodel import LatencyModel, NetworkParams
+from ..simul import Engine, FilterStore
+from .stats import TrafficStats
+
+__all__ = ["Message", "Fabric"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered message, as seen by the receiving protocol code."""
+
+    src: int
+    dst: int
+    tag: Any
+    payload: Any
+    nbytes: int
+    sent_at: float
+    delivered_at: float
+    phase: str = ""
+    layer: int = -1
+
+
+class _Nic:
+    """Per-node NIC state: thread slots for overheads, serialization point."""
+
+    __slots__ = ("thread_free", "egress_free", "ingress_free")
+
+    def __init__(self, threads: int):
+        self.thread_free = [0.0] * threads
+        self.egress_free = 0.0
+        self.ingress_free = 0.0
+
+
+class Fabric:
+    """Simulated interconnect between ``num_nodes`` nodes.
+
+    Parameters
+    ----------
+    engine, params:
+        The event engine and the interconnect parameter bundle.
+    num_nodes:
+        Cluster size ``m``.
+    threads:
+        Sender thread slots per node (Fig 7's variable).  ``hw_threads``
+        is the physical core-thread count; software threads beyond it pay
+        a context-switching penalty on the per-message overhead.
+    seed:
+        Seeds the latency jitter stream (deterministic runs).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        params: NetworkParams,
+        num_nodes: int,
+        *,
+        threads: int = 16,
+        hw_threads: int = 16,
+        switch_penalty: float = 0.06,
+        seed: int = 0,
+        stats: Optional[TrafficStats] = None,
+    ):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if threads <= 0:
+            raise ValueError("threads must be positive")
+        self.engine = engine
+        self.params = params
+        self.num_nodes = num_nodes
+        self.threads = threads
+        self.stats = stats if stats is not None else TrafficStats()
+        self._latency = LatencyModel(params, seed=seed)
+        self._nics = [_Nic(threads) for _ in range(num_nodes)]
+        self.mailboxes = [FilterStore(engine) for _ in range(num_nodes)]
+        # Overhead multiplier: oversubscribed software threads thrash.
+        over = max(0, threads - hw_threads)
+        self._overhead = params.message_overhead * (
+            1.0 + switch_penalty * over / max(1, hw_threads)
+        )
+        self._alive: Callable[[int], bool] = lambda node: True
+        self.dropped = 0
+
+    def set_liveness(self, fn: Callable[[int], bool]) -> None:
+        """Install the failure oracle (see :mod:`repro.cluster.failures`)."""
+        self._alive = fn
+
+    # -- sending -------------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        nbytes: int,
+        *,
+        tag: Any = None,
+        phase: str = "",
+        layer: int = -1,
+    ) -> float:
+        """Fire-and-forget send; returns the scheduled delivery time.
+
+        Sends from or to dead nodes vanish (counted in ``dropped``), which
+        is exactly the failure behaviour replication must survive.
+        """
+        if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
+            raise ValueError(f"bad endpoints {src}->{dst}")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        now = self.engine.now
+        if not self._alive(src) or not self._alive(dst):
+            self.dropped += 1
+            return float("inf")
+
+        self.stats.record(src, dst, nbytes, phase=phase, layer=layer)
+
+        if src == dst:
+            # Local hand-off: no network, only a memcpy-scale CPU charge.
+            deliver = now + self.params.per_byte_cpu * nbytes
+            self._deliver_at(deliver, src, dst, tag, payload, nbytes, now, phase, layer)
+            return deliver
+
+        nic_s = self._nics[src]
+        jitter = self._latency.sample_service_factor()
+        # 1. sender thread slot runs the per-message overhead
+        slot = min(range(self.threads), key=lambda t: nic_s.thread_free[t])
+        cpu_start = max(now, nic_s.thread_free[slot])
+        cpu_done = cpu_start + (self._overhead + self.params.per_byte_cpu * nbytes) * jitter
+        nic_s.thread_free[slot] = cpu_done
+        # 2. egress serialization (service jitter models congestion/steal)
+        tx = nbytes / self.params.bandwidth * jitter
+        tx_start = max(cpu_done, nic_s.egress_free)
+        tx_done = tx_start + tx
+        nic_s.egress_free = tx_done
+        # 3. propagation
+        first_byte = tx_start + self._latency.sample()
+        # 4. ingress serialization at the receiver; a backlog on arrival
+        # signals fan-in contention and charges the incast penalty
+        nic_d = self._nics[dst]
+        contended = nic_d.ingress_free > first_byte
+        rx_start = max(first_byte, nic_d.ingress_free)
+        arrived = rx_start + tx + (self.params.incast_overhead if contended else 0.0)
+        nic_d.ingress_free = arrived
+        # 5. receive-side processing in a receiver thread slot (§VI-B):
+        # deserialisation/copy work that multi-threading overlaps
+        proc = self.params.recv_byte_cpu * nbytes
+        if proc > 0.0:
+            slot_r = min(range(self.threads), key=lambda t: nic_d.thread_free[t])
+            proc_start = max(arrived, nic_d.thread_free[slot_r])
+            deliver = proc_start + proc * jitter
+            nic_d.thread_free[slot_r] = deliver
+        else:
+            deliver = arrived
+
+        self._deliver_at(deliver, src, dst, tag, payload, nbytes, now, phase, layer)
+        return deliver
+
+    def _deliver_at(self, when, src, dst, tag, payload, nbytes, sent, phase, layer):
+        def deliver():
+            if not self._alive(dst):
+                self.dropped += 1
+                return
+            msg = Message(src, dst, tag, payload, nbytes, sent, self.engine.now, phase, layer)
+            self.mailboxes[dst].put(msg)
+
+        self.engine.schedule_at(max(when, self.engine.now), deliver)
+
+    # -- receiving -------------------------------------------------------------
+    def recv(self, node: int, *, tag: Any = None, src: Optional[int] = None):
+        """Event that fires with the next matching :class:`Message`."""
+        if tag is None and src is None:
+            return self.mailboxes[node].get()
+
+        def match(msg: Message) -> bool:
+            return (tag is None or msg.tag == tag) and (src is None or msg.src == src)
+
+        return self.mailboxes[node].get(match)

@@ -1,0 +1,54 @@
+"""Fault injection: scheduled node deaths.
+
+The paper's Table I measures replicated-network performance with 0–3 dead
+nodes.  A :class:`FailurePlan` kills nodes at given simulated times (time 0
+reproduces the "node was already dead when the job started" case used in
+the paper); the fabric consults it on every send and delivery, so messages
+involving dead nodes silently vanish — the failure mode packet replication
+is designed to survive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+__all__ = ["FailurePlan"]
+
+
+class FailurePlan:
+    """Maps node id → death time (simulated seconds)."""
+
+    def __init__(self, deaths: Dict[int, float] | None = None):
+        self._deaths: Dict[int, float] = dict(deaths or {})
+        for node, t in self._deaths.items():
+            if t < 0:
+                raise ValueError(f"death time for node {node} must be >= 0")
+
+    @classmethod
+    def none(cls) -> "FailurePlan":
+        return cls({})
+
+    @classmethod
+    def dead_from_start(cls, nodes: Iterable[int]) -> "FailurePlan":
+        """Nodes that are down for the whole run (Table I's scenario)."""
+        return cls({int(n): 0.0 for n in nodes})
+
+    def kill(self, node: int, at: float = 0.0) -> "FailurePlan":
+        if at < 0:
+            raise ValueError("death time must be >= 0")
+        self._deaths[int(node)] = float(at)
+        return self
+
+    def is_alive(self, node: int, now: float) -> bool:
+        t = self._deaths.get(node)
+        return t is None or now < t
+
+    @property
+    def dead_nodes(self) -> list[int]:
+        return sorted(self._deaths)
+
+    def __len__(self) -> int:
+        return len(self._deaths)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FailurePlan({self._deaths!r})"

@@ -1,0 +1,47 @@
+"""Power-law data substrate: samplers, graphs, partitions, datasets.
+
+Generates the synthetic equivalents of the paper's evaluation data —
+power-law graphs calibrated so the m-way random edge partition matches
+the published partition densities (0.21 Twitter-like, 0.035 Yahoo-like) —
+plus minibatch streams for the machine-learning workloads.
+"""
+
+from .datasets import Dataset, edges_for_density, make_powerlaw_dataset, twitter_like, yahoo_like
+from .graphs import EdgeGraph, grid_graph, powerlaw_graph, ring_graph
+from .greedy import greedy_edge_partition, replication_factor
+from .io import load_edgelist, save_edgelist
+from .minibatch import Minibatch, MinibatchStream, make_ground_truth
+from .partition import (
+    GraphPartition,
+    partition_density,
+    random_edge_partition,
+    spmv_spec,
+)
+from .powerlaw import harmonic_number, poisson_partition, zipf_probabilities, zipf_sample
+
+__all__ = [
+    "Dataset",
+    "twitter_like",
+    "yahoo_like",
+    "make_powerlaw_dataset",
+    "edges_for_density",
+    "EdgeGraph",
+    "powerlaw_graph",
+    "ring_graph",
+    "grid_graph",
+    "GraphPartition",
+    "random_edge_partition",
+    "greedy_edge_partition",
+    "replication_factor",
+    "load_edgelist",
+    "save_edgelist",
+    "partition_density",
+    "spmv_spec",
+    "Minibatch",
+    "MinibatchStream",
+    "make_ground_truth",
+    "harmonic_number",
+    "zipf_sample",
+    "zipf_probabilities",
+    "poisson_partition",
+]

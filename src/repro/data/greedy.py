@@ -1,0 +1,95 @@
+"""Greedy edge partitioning (the PowerGraph heuristic the paper cites).
+
+§II-B: "[PowerGraph] describes two edge partitioning schemes, one random
+and one greedy.  Here we will only use random edge partitioning - the
+precomputation needed to partition is quite significant compared to the
+application running time."  §VII-D adds that greedy partitioning "saves
+50% runtime" for PowerGraph's PageRank, i.e. roughly halves communication.
+
+We implement the greedy heuristic as an extension so the trade-off is
+measurable: the classic PowerGraph placement rule processes edges in a
+stream and assigns edge ``(u, v)`` to
+
+1. a machine already holding **both** endpoints, if any (least loaded);
+2. else a machine holding **one** endpoint (least loaded among those);
+3. else the least-loaded machine overall,
+
+which minimises new vertex replicas subject to load balance.  Lower
+replication means smaller in/out vertex sets per machine — less allreduce
+volume — at the cost of an O(E) sequential precomputation, exactly the
+trade the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .graphs import EdgeGraph
+from .partition import GraphPartition
+
+__all__ = ["greedy_edge_partition", "replication_factor"]
+
+
+def greedy_edge_partition(
+    graph: EdgeGraph, m: int, *, seed: int = 0
+) -> List[GraphPartition]:
+    """PowerGraph-style greedy vertex-cut placement of edges."""
+    if m <= 0:
+        raise ValueError("m must be positive")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(graph.n_edges)
+
+    holders: List[set] = [set() for _ in range(graph.n_vertices)]
+    loads = np.zeros(m, dtype=np.int64)
+    owner = np.empty(graph.n_edges, dtype=np.int64)
+
+    src, dst = graph.src, graph.dst
+    for e in order:
+        u, v = int(src[e]), int(dst[e])
+        hu, hv = holders[u], holders[v]
+        both = hu & hv
+        if both:
+            cands = both
+        else:
+            either = hu | hv
+            cands = either if either else range(m)
+        best = min(cands, key=lambda c: (loads[c], c))
+        owner[e] = best
+        loads[best] += 1
+        hu.add(best)
+        hv.add(best)
+
+    parts = []
+    for rank in range(m):
+        ids = np.flatnonzero(owner == rank)
+        s, d = src[ids], dst[ids]
+        parts.append(
+            GraphPartition(
+                rank=rank,
+                n_vertices=graph.n_vertices,
+                src=s,
+                dst=d,
+                in_vertices=np.unique(s),
+                out_vertices=np.unique(d),
+            )
+        )
+    return parts
+
+
+def replication_factor(parts: List[GraphPartition]) -> float:
+    """Mean number of machines touching each (touched) vertex.
+
+    The quantity greedy placement minimises; random edge partitioning of
+    power-law graphs drives it towards ``m`` for head vertices.
+    """
+    if not parts:
+        raise ValueError("no partitions")
+    n = parts[0].n_vertices
+    counts = np.zeros(n, dtype=np.int64)
+    for p in parts:
+        touched = np.union1d(p.in_vertices, p.out_vertices)
+        counts[touched] += 1
+    active = counts > 0
+    return float(counts[active].mean()) if active.any() else 0.0

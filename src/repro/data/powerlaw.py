@@ -1,0 +1,82 @@
+"""Power-law feature samplers — the statistical substrate of "Big Data".
+
+The paper's analysis assumes rank-``r`` feature frequencies follow
+``Poisson(λ r^-α)`` (§IV).  These samplers generate data *from exactly
+that model*, so measured protocol behaviour can be compared against the
+Prop-4.1 predictions:
+
+* :func:`zipf_sample` — draw feature ids with ``P(r) ∝ r^-α`` (bounded
+  support, any α ≥ 0, unlike ``numpy.random.zipf`` which needs α > 1);
+* :func:`poisson_partition` — one node's index set under the Poisson
+  model (feature ``r`` present with probability ``1 - exp(-λ r^-α)``);
+* :func:`harmonic_number` — the generalized harmonic normaliser
+  ``H(n, α)``, linking edge counts to Poisson rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["harmonic_number", "zipf_sample", "zipf_probabilities", "poisson_partition"]
+
+
+def harmonic_number(n: int, alpha: float) -> float:
+    """Generalized harmonic number ``H(n, α) = Σ_{r=1..n} r^-α``.
+
+    Exact summation below 10^7 ranks; Euler–Maclaurin tail above (needed
+    for paper-scale ``n`` in analytic calibration).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    cut = min(n, 10_000_000)
+    r = np.arange(1, cut + 1, dtype=np.float64)
+    total = float(np.power(r, -alpha).sum())
+    if n > cut:
+        if abs(alpha - 1.0) < 1e-12:
+            total += float(np.log(n / cut))
+        else:
+            total += (n ** (1 - alpha) - cut ** (1 - alpha)) / (1 - alpha)
+    return total
+
+
+def zipf_probabilities(n: int, alpha: float) -> np.ndarray:
+    """Normalized rank probabilities ``p_r = r^-α / H(n, α)``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    p = np.power(np.arange(1, n + 1, dtype=np.float64), -alpha)
+    p /= p.sum()
+    return p
+
+
+def zipf_sample(
+    n: int, size: int, alpha: float, rng: np.random.Generator
+) -> np.ndarray:
+    """``size`` feature ids in ``[0, n)`` with ``P(rank r) ∝ r^-α``.
+
+    Inverse-CDF sampling on the exact bounded distribution; rank 0 is the
+    most frequent feature.  O(n) memory for the CDF — intended for the
+    scaled-down datasets (n up to ~10^7).
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    cdf = np.cumsum(zipf_probabilities(n, alpha))
+    u = rng.random(size)
+    return np.searchsorted(cdf, u, side="right").astype(np.int64)
+
+
+def poisson_partition(
+    n: int, lam: float, alpha: float, rng: np.random.Generator
+) -> np.ndarray:
+    """One node's sparse index set under the §IV Poisson model.
+
+    Feature ``r`` (0-based id, rank ``r+1``) is present with probability
+    ``1 - exp(-λ (r+1)^-α)``; returns the sorted present ids.
+    """
+    if lam < 0:
+        raise ValueError("lambda must be non-negative")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    p = -np.expm1(-lam * np.power(ranks, -alpha))
+    present = rng.random(n) < p
+    return np.flatnonzero(present).astype(np.int64)

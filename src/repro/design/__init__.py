@@ -1,0 +1,30 @@
+"""Network design workflow (§IV): pick optimal butterfly degrees.
+
+Combines the Prop-4.1 power-law density model (:class:`PowerLawModel`,
+Fig 4's curves), empirical density curves measured from real partitions,
+and the greedy packet-size-aware degree optimizer.
+"""
+
+from .empirical import EmpiricalDensityCurve, measure_union_densities
+from .optimizer import (
+    DensityCurve,
+    LayerPrediction,
+    divisors_desc,
+    optimal_degrees,
+    predict_layers,
+)
+from .powerlaw import PowerLawModel, density, invert_density, layer_scale_factors
+
+__all__ = [
+    "PowerLawModel",
+    "density",
+    "invert_density",
+    "layer_scale_factors",
+    "EmpiricalDensityCurve",
+    "measure_union_densities",
+    "DensityCurve",
+    "LayerPrediction",
+    "predict_layers",
+    "optimal_degrees",
+    "divisors_desc",
+]

@@ -1,0 +1,110 @@
+"""Empirical density curves for non-power-law data (§IV, final paragraph).
+
+"The same method can be used for other sparse datasets without power-law
+structure.  It will be necessary to construct an approximate density curve
+… drawing p samples from the sparse set for various p, and measuring the
+density."
+
+:class:`EmpiricalDensityCurve` does exactly that: given the per-node index
+sets of an actual partitioned dataset, it measures the density of unions
+of ``k`` partitions for a ladder of ``k`` values and interpolates in
+log-scale between them.  The result plugs into the same
+:func:`repro.design.optimizer.optimal_degrees` workflow as the analytic
+power-law model.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["EmpiricalDensityCurve", "measure_union_densities"]
+
+
+def measure_union_densities(
+    partitions: Mapping[int, np.ndarray],
+    n_features: int,
+    scales: Sequence[int],
+    *,
+    trials: int = 3,
+    seed: int = 0,
+) -> dict[int, float]:
+    """Mean density of the union of ``k`` random partitions, per ``k``.
+
+    Each trial unions ``k`` distinct randomly-chosen partitions and counts
+    distinct indices; densities are averaged over trials.
+    """
+    ranks = sorted(partitions)
+    if not ranks:
+        raise ValueError("no partitions given")
+    if n_features <= 0:
+        raise ValueError("n_features must be positive")
+    rng = np.random.default_rng(seed)
+    out: dict[int, float] = {}
+    for k in scales:
+        if not 1 <= k <= len(ranks):
+            raise ValueError(f"scale {k} outside 1..{len(ranks)}")
+        densities = []
+        for _ in range(trials):
+            chosen = rng.choice(ranks, size=k, replace=False)
+            union = np.unique(np.concatenate([partitions[r] for r in chosen]))
+            densities.append(union.size / n_features)
+        out[int(k)] = float(np.mean(densities))
+    return out
+
+
+class EmpiricalDensityCurve:
+    """Log-scale interpolated density curve measured from real partitions.
+
+    Implements the :class:`repro.design.optimizer.DensityCurve` protocol,
+    so the optimal-degree workflow runs unchanged on measured data.
+    """
+
+    def __init__(self, n_features: int, points: Mapping[int, float]):
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        if not points:
+            raise ValueError("need at least one measured point")
+        self.n_features = int(n_features)
+        ks = np.array(sorted(points), dtype=np.float64)
+        ds = np.array([points[int(k)] for k in ks])
+        if ks[0] < 1:
+            raise ValueError("scales must be >= 1")
+        if np.any(np.diff(ds) < -1e-12):
+            raise ValueError("density must be non-decreasing in the union size")
+        self._log_k = np.log(ks)
+        self._dens = np.clip(ds, 0.0, 1.0)
+
+    @classmethod
+    def from_partitions(
+        cls,
+        partitions: Mapping[int, np.ndarray],
+        n_features: int,
+        *,
+        scales: Sequence[int] | None = None,
+        trials: int = 3,
+        seed: int = 0,
+    ) -> "EmpiricalDensityCurve":
+        m = len(partitions)
+        if scales is None:
+            scales = sorted({1, *(2**i for i in range(1, 20) if 2**i <= m), m})
+        points = measure_union_densities(
+            partitions, n_features, scales, trials=trials, seed=seed
+        )
+        return cls(n_features, points)
+
+    def density_at_scale(self, k: float) -> float:
+        """Interpolated density of a union of ``k`` partitions.
+
+        Beyond the last measured point the curve is clamped (density can
+        only saturate towards 1, and clamping is the conservative choice
+        for packet sizing).
+        """
+        if k <= 0:
+            raise ValueError("scale must be positive")
+        return float(np.interp(np.log(k), self._log_k, self._dens))
+
+    @property
+    def initial_density(self) -> float:
+        return self.density_at_scale(1.0)

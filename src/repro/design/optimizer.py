@@ -1,0 +1,131 @@
+"""The §IV design workflow: choose optimal butterfly degrees.
+
+Walking down the network with the density curve:
+
+1. anchor the curve at the measured initial partition density ``D₀``;
+2. at each layer, compute the expected per-node data ``P`` (elements in
+   the node's current range × its density × bytes per element);
+3. pick the **largest** degree ``d`` (a divisor of the remaining node
+   count) such that the per-neighbour packet ``P/d`` stays at or above
+   the minimum efficient packet size — wide layers shrink the network
+   fast, but only while packets stay efficient;
+4. recurse one layer down with the density of a union of ``K·d``
+   partitions.
+
+When even ``d = 2`` would push packets below the floor, adding layers can
+only hurt (each layer pays latency and overhead for sub-efficient
+packets), so the remaining nodes are folded into one final layer.
+
+The curve may be the analytic power-law model (:class:`PowerLawModel`) or
+an empirical one measured from data (§IV's "other sparse datasets"
+escape hatch, :mod:`repro.design.empirical`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence
+
+__all__ = ["DensityCurve", "LayerPrediction", "predict_layers", "optimal_degrees", "divisors_desc"]
+
+
+class DensityCurve(Protocol):
+    """Anything that predicts density of a union of ``k`` partitions."""
+
+    n_features: int
+
+    def density_at_scale(self, k: float) -> float: ...
+
+
+@dataclass(frozen=True)
+class LayerPrediction:
+    """Prop-4.1 prediction for one layer (rows of the design worksheet)."""
+
+    layer: int  # 1-based; layer l+1 is the fully-reduced bottom
+    scale: int  # K_i: number of initial partitions merged so far
+    degree: int  # d_i (0 for the bottom row)
+    density: float  # D_i
+    node_elements: float  # P_i: per-node elements in its current range
+    message_elements: float  # P_i / d_i
+    message_bytes: float  # message_elements * bytes_per_element
+    total_volume_elements: float  # cluster-wide volume at this layer (Fig 5)
+
+
+def divisors_desc(m: int) -> List[int]:
+    """Divisors of ``m`` that are >= 2, descending."""
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    return [d for d in range(m, 1, -1) if m % d == 0]
+
+
+def predict_layers(
+    curve: DensityCurve,
+    degrees: Sequence[int],
+    num_nodes: int,
+    *,
+    bytes_per_element: float = 8.0,
+) -> List[LayerPrediction]:
+    """Per-layer densities/packet sizes for a given degree stack.
+
+    Includes a final bottom row (degree 0) describing the fully-reduced
+    data — the last bar of the paper's Fig 5.
+    """
+    rows: List[LayerPrediction] = []
+    k = 1
+    n = curve.n_features
+    for i, d in enumerate(list(degrees) + [0], start=1):
+        dens = curve.density_at_scale(k)
+        node_elems = dens * n / k
+        msg_elems = node_elems / d if d else node_elems
+        rows.append(
+            LayerPrediction(
+                layer=i,
+                scale=k,
+                degree=d,
+                density=dens,
+                node_elements=node_elems,
+                message_elements=msg_elems,
+                message_bytes=msg_elems * bytes_per_element,
+                total_volume_elements=node_elems * num_nodes,
+            )
+        )
+        if d:
+            k *= d
+    return rows
+
+
+def optimal_degrees(
+    curve: DensityCurve,
+    num_nodes: int,
+    *,
+    min_packet_bytes: float,
+    bytes_per_element: float = 8.0,
+    max_layers: int = 16,
+) -> List[int]:
+    """Greedy §IV workflow: widest degree whose packets stay efficient."""
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if min_packet_bytes <= 0:
+        raise ValueError("min_packet_bytes must be positive")
+    if num_nodes == 1:
+        return [1]
+    degrees: List[int] = []
+    remaining = num_nodes
+    k = 1
+    n = curve.n_features
+    while remaining > 1 and len(degrees) < max_layers:
+        node_bytes = curve.density_at_scale(k) * (n / k) * bytes_per_element
+        choice = None
+        for d in divisors_desc(remaining):
+            if node_bytes / d >= min_packet_bytes:
+                choice = d
+                break
+        if choice is None:
+            # Even the narrowest split is overhead-dominated: stop layering.
+            choice = remaining
+        degrees.append(choice)
+        remaining //= choice
+        k *= choice
+    if remaining > 1:  # max_layers hit
+        degrees.append(remaining)
+    return degrees

@@ -1,0 +1,11 @@
+"""Real-execution backends: the protocol outside the simulator.
+
+:class:`LocalKylix` runs one OS process per logical node with pipe
+transport and sender threads — the existence proof that Kylix "can be
+run self-contained" (§I-B).  Use the simulator for performance studies;
+use this to sanity-check the protocol against real concurrency.
+"""
+
+from .local import LocalKylix
+
+__all__ = ["LocalKylix"]

@@ -1,0 +1,272 @@
+"""Real-execution Kylix: OS processes, pipes, and sender threads.
+
+The simulator (`repro.cluster`) is the measurement instrument; this
+module is the existence proof that the protocol "can be run self-
+contained" (§I-B) outside any simulation — each logical node is a real
+OS process, messages travel over ``multiprocessing`` connections, and
+sends run on background threads exactly like the paper's Java
+implementation ("we start threads to send all messages concurrently",
+§VI-B) so that simultaneous exchanges cannot deadlock on pipe buffers.
+
+It executes the *combined* variant of the protocol (indices + values in
+one downward pass, §III) and supports the same reduction operators as
+the simulator.  It is built for correctness and portability, not
+throughput: spawning processes costs ~100 ms each, and a single-core
+host serialises them — use the simulator for performance studies.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..allreduce import ReduceSpec
+from ..allreduce.base import CoverageError, reduction_identity, reduction_ufunc
+from ..allreduce.topology import ButterflyTopology
+from ..sparse import (
+    IndexHasher,
+    KeyRange,
+    MultiplicativeHasher,
+    split_sorted,
+    union_with_maps,
+)
+
+__all__ = ["LocalKylix"]
+
+
+def _worker(
+    rank: int,
+    degrees: Sequence[int],
+    multiplier: int,
+    op: str,
+    strict: bool,
+    value_shape: tuple,
+    dtype_str: str,
+    in_idx: np.ndarray,
+    out_idx: np.ndarray,
+    values: np.ndarray,
+    conns: Dict[int, "mp.connection.Connection"],
+    result_q: "mp.Queue",
+) -> None:
+    """One node's blocking protocol run (executed in a child process)."""
+    try:
+        hasher = MultiplicativeHasher(multiplier)
+        dtype = np.dtype(dtype_str)
+        ufunc = reduction_ufunc(op)
+        identity = reduction_identity(op, dtype)
+        topo = ButterflyTopology(degrees, int(np.prod(degrees)))
+
+        out_keys, out_inv = np.unique(hasher.hash(out_idx), return_inverse=True)
+        in_keys, in_inv = np.unique(hasher.hash(in_idx), return_inverse=True)
+        v = np.full((out_keys.size, *value_shape), identity, dtype=dtype)
+        ufunc.at(v, out_inv, np.asarray(values, dtype=dtype))
+
+        rng = KeyRange.full(hasher.key_space)
+        layers = []  # (group, pos, in_slices, in_maps, in_prev_size)
+        for layer in range(1, topo.num_layers + 1):
+            d = topo.degrees[layer - 1]
+            group = topo.group(rank, layer)
+            pos = topo.position(rank, layer)
+            out_slices = split_sorted(out_keys, rng, d)
+            in_slices = split_sorted(in_keys, rng, d)
+
+            # Send all parts on background threads (deadlock-free exchange).
+            # Each message is tagged with the *sender's* group position so
+            # the receiver can index its merge maps.  Threads are joined
+            # before the layer ends: a Connection is not thread-safe, and
+            # the up pass will reuse the same pipe — per-connection message
+            # order must stay down-then-up.
+            senders = []
+            payloads = {}
+            for q, member in enumerate(group):
+                part = (
+                    pos,
+                    out_keys[out_slices[q]],
+                    in_keys[in_slices[q]],
+                    np.ascontiguousarray(v[out_slices[q]]),
+                )
+                if member == rank:
+                    payloads[pos] = part
+                else:
+                    t = threading.Thread(
+                        target=conns[member].send, args=(("down", layer, part),)
+                    )
+                    t.daemon = True
+                    t.start()
+                    senders.append(t)
+
+            # Receive one down-part per neighbour.  A fast neighbour may
+            # already have queued its *up* message behind its down message,
+            # so each connection is read at most once per phase.
+            received = {rank}
+            while len(payloads) < d:
+                for member in group:
+                    if member in received:
+                        continue
+                    conn = conns[member]
+                    if conn.poll(0.005):
+                        kind, lyr, part = conn.recv()
+                        assert kind == "down" and lyr == layer
+                        payloads[part[0]] = part
+                        received.add(member)
+                        if len(payloads) == d:
+                            break
+
+            for t in senders:
+                t.join()
+
+            out_parts = [payloads[q][1] for q in range(d)]
+            in_parts = [payloads[q][2] for q in range(d)]
+            out_union, out_maps = union_with_maps(out_parts)
+            in_union, in_maps = union_with_maps(in_parts)
+            partial = np.full((out_union.size, *value_shape), identity, dtype=dtype)
+            for q in range(d):
+                m = out_maps[q]
+                partial[m] = ufunc(partial[m], payloads[q][3])
+
+            layers.append((group, pos, in_slices, in_maps, in_keys.size))
+            out_keys, in_keys, v = out_union, in_union, partial
+            rng = rng.subrange(pos, d)
+
+        # bottom projection
+        pos_arr = np.searchsorted(out_keys, in_keys).astype(np.intp)
+        clipped = np.minimum(pos_arr, max(out_keys.size - 1, 0))
+        hit = (
+            out_keys[clipped] == in_keys
+            if out_keys.size and in_keys.size
+            else np.zeros(in_keys.size, dtype=bool)
+        )
+        if strict and not bool(hit.all()):
+            raise CoverageError(
+                f"rank {rank}: {int((~hit).sum())} requested indices uncovered"
+            )
+        r = np.full((in_keys.size, *value_shape), identity, dtype=dtype)
+        if v.size:
+            mask = hit.reshape(hit.shape + (1,) * (r.ndim - 1))
+            np.copyto(r, v[clipped], where=mask)
+
+        # upward allgather
+        for group, pos, in_slices, in_maps, prev_size in reversed(layers):
+            d = len(group)
+            parts = {}
+            senders = []
+            for q, member in enumerate(group):
+                payload = (pos, np.ascontiguousarray(r[in_maps[q]]))
+                if member == rank:
+                    parts[pos] = payload[1]
+                else:
+                    t = threading.Thread(
+                        target=conns[member].send, args=(("up", q, payload),)
+                    )
+                    t.daemon = True
+                    t.start()
+                    senders.append(t)
+            out = np.zeros((prev_size, *value_shape), dtype=dtype)
+            received_up = {rank}
+            out[in_slices[pos]] = parts[pos]
+            while len(received_up) < d:
+                for member in group:
+                    if member in received_up:
+                        continue
+                    conn = conns[member]
+                    if conn.poll(0.005):
+                        kind, my_q, (sender_pos, vals_part) = conn.recv()
+                        assert kind == "up"
+                        out[in_slices[sender_pos]] = vals_part
+                        received_up.add(member)
+                        if len(received_up) == d:
+                            break
+            for t in senders:
+                t.join()
+            r = out
+
+        result_q.put((rank, r[in_inv], None))
+    except Exception as exc:  # pragma: no cover - surfaced in the parent
+        import traceback
+
+        result_q.put((rank, None, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"))
+
+
+class LocalKylix:
+    """Kylix over real OS processes (one per logical node).
+
+    Usage mirrors the simulator API, minus timing::
+
+        net = LocalKylix(degrees=[2, 2])
+        result = net.allreduce(spec, values)   # spawns 4 worker processes
+    """
+
+    def __init__(
+        self,
+        degrees: Sequence[int],
+        *,
+        hasher: Optional[IndexHasher] = None,
+        strict_coverage: bool = True,
+    ):
+        self.degrees = [int(d) for d in degrees]
+        self.size = int(np.prod(self.degrees))
+        if isinstance(hasher, MultiplicativeHasher) or hasher is None:
+            self._multiplier = int(
+                (hasher._mult if hasher is not None else MultiplicativeHasher()._mult)
+            )
+        else:
+            raise ValueError("LocalKylix supports MultiplicativeHasher only")
+        self.strict_coverage = strict_coverage
+
+    def allreduce(
+        self, spec: ReduceSpec, out_values: Mapping[int, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        if set(spec.ranks) != set(range(self.size)):
+            raise ValueError(
+                f"spec must cover ranks 0..{self.size - 1} (got {spec.ranks})"
+            )
+        ctx = mp.get_context("fork") if hasattr(mp, "get_context") else mp
+        # full mesh of duplex pipes
+        conns: Dict[int, Dict[int, object]] = {r: {} for r in range(self.size)}
+        for i in range(self.size):
+            for j in range(i + 1, self.size):
+                a, b = ctx.Pipe(duplex=True)
+                conns[i][j] = a
+                conns[j][i] = b
+        result_q = ctx.Queue()
+        procs = []
+        for rank in range(self.size):
+            p = ctx.Process(
+                target=_worker,
+                args=(
+                    rank,
+                    self.degrees,
+                    self._multiplier,
+                    spec.op,
+                    self.strict_coverage,
+                    spec.value_shape,
+                    spec.dtype.str,
+                    spec.in_indices[rank],
+                    spec.out_indices[rank],
+                    np.asarray(out_values[rank], dtype=spec.dtype),
+                    conns[rank],
+                    result_q,
+                ),
+            )
+            p.daemon = True
+            p.start()
+            procs.append(p)
+
+        results: Dict[int, np.ndarray] = {}
+        error = None
+        for _ in range(self.size):
+            rank, value, err = result_q.get(timeout=120)
+            if err is not None:
+                error = (rank, err)
+                break
+            results[rank] = value
+        for p in procs:
+            p.join(timeout=10)
+            if p.is_alive():  # pragma: no cover - stuck worker
+                p.terminate()
+        if error is not None:
+            raise RuntimeError(f"worker {error[0]} failed: {error[1]}")
+        return results

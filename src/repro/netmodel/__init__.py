@@ -1,0 +1,22 @@
+"""Performance model of a commodity-cluster interconnect.
+
+Encodes the paper's central constraint — the minimum efficient packet size
+on TCP/Ethernet fabrics (Fig 2) — plus latency variability used by the
+fault-tolerance and packet-racing experiments.
+"""
+
+from .bandwidth import ThroughputPoint, logspaced_sizes, throughput_curve
+from .latency import LatencyModel
+from .params import EC2_LIKE, GB, LOW_LATENCY, MB, NetworkParams
+
+__all__ = [
+    "NetworkParams",
+    "EC2_LIKE",
+    "LOW_LATENCY",
+    "MB",
+    "GB",
+    "LatencyModel",
+    "ThroughputPoint",
+    "throughput_curve",
+    "logspaced_sizes",
+]

@@ -1,0 +1,53 @@
+"""Effective-bandwidth curve utilities (reproduces the shape of Fig 2).
+
+The paper measures achieved throughput against packet size on EC2 and
+observes a saturating ramp: tiny packets are overhead-dominated, ~5 MB
+packets approach peak bandwidth.  :func:`throughput_curve` evaluates the
+model's curve over a size sweep; :func:`simulate_throughput` *measures*
+the same quantity by clocking actual transfers through a simulated fabric,
+so the benchmark validates that model and fabric agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .params import NetworkParams
+
+__all__ = ["ThroughputPoint", "throughput_curve", "logspaced_sizes"]
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """One point of the packet-size/throughput sweep."""
+
+    packet_bytes: float
+    throughput_bytes_per_s: float
+    utilization: float
+
+
+def logspaced_sizes(
+    lo: float = 1 << 13, hi: float = 100 << 20, count: int = 25
+) -> np.ndarray:
+    """Log-spaced packet sizes from ``lo`` to ``hi`` bytes (Fig 2 x-axis)."""
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if count < 2:
+        raise ValueError("need at least two sample sizes")
+    return np.logspace(np.log10(lo), np.log10(hi), count)
+
+
+def throughput_curve(
+    params: NetworkParams, sizes: Sequence[float] | None = None
+) -> list[ThroughputPoint]:
+    """Analytic effective throughput at each packet size."""
+    if sizes is None:
+        sizes = logspaced_sizes()
+    out = []
+    for s in sizes:
+        tput = params.effective_throughput(float(s))
+        out.append(ThroughputPoint(float(s), tput, tput / params.bandwidth))
+    return out

@@ -1,0 +1,56 @@
+"""Latency models for the simulated fabric.
+
+Commodity clouds exhibit heavy-tailed, variable latency (the paper lists
+"networks with modest bandwidth and high (and variable) latency" as a
+defining property of the environment).  We model per-message latency as
+
+    latency = base_latency * X,   X ~ LogNormal(mu, sigma)
+
+with ``mu`` chosen so that ``E[X] = 1`` — jitter changes the distribution,
+not the mean, so timing comparisons across jitter levels stay fair.
+Replication/packet-racing experiments (Table I, the racing ablation) rely
+on this variance: racing wins precisely because the *minimum* of two
+lognormal draws is much better than their mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .params import NetworkParams
+
+__all__ = ["LatencyModel"]
+
+
+class LatencyModel:
+    """Samples per-message one-way latencies, deterministically seeded."""
+
+    def __init__(self, params: NetworkParams, seed: int = 0):
+        self.params = params
+        self._rng = np.random.default_rng(seed)
+        sigma = params.latency_sigma
+        # E[LogNormal(mu, sigma)] = exp(mu + sigma^2/2) = 1  =>  mu = -sigma^2/2
+        self._mu = -0.5 * sigma * sigma
+
+    def sample(self) -> float:
+        """One latency draw in seconds."""
+        base = self.params.base_latency
+        sigma = self.params.latency_sigma
+        if sigma == 0.0 or base == 0.0:
+            return base
+        return base * float(self._rng.lognormal(self._mu, sigma))
+
+    def sample_service_factor(self) -> float:
+        """Mean-1 lognormal multiplier for one message's service time."""
+        sigma = self.params.service_sigma
+        if sigma == 0.0:
+            return 1.0
+        return float(self._rng.lognormal(-0.5 * sigma * sigma, sigma))
+
+    def sample_many(self, count: int) -> np.ndarray:
+        """Vectorized draws (used by tests to check the mean is preserved)."""
+        base = self.params.base_latency
+        sigma = self.params.latency_sigma
+        if sigma == 0.0 or base == 0.0:
+            return np.full(count, base)
+        return base * self._rng.lognormal(self._mu, sigma, size=count)

@@ -1,0 +1,35 @@
+"""Deterministic discrete-event simulation kernel.
+
+This is the foundation every simulated-cluster experiment runs on: a
+time-ordered event queue (:class:`Engine`), generator-backed processes
+(:class:`Process`), composable events (:class:`AnyOf` / :class:`AllOf`),
+and waitable FIFO stores used as node mailboxes.
+"""
+
+from .engine import EmptySchedule, Engine
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+from .process import Process
+from .store import FilterStore, Store
+
+__all__ = [
+    "Engine",
+    "EmptySchedule",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "Process",
+    "Store",
+    "FilterStore",
+]

@@ -1,0 +1,132 @@
+"""The discrete-event engine: a time-ordered event queue and its run loop.
+
+Determinism is a hard requirement for reproducible benchmarks, so ties in
+simulated time are broken by a monotonically increasing sequence number —
+two events scheduled for the same instant always fire in scheduling order,
+regardless of hash seeds or heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from .events import AllOf, AnyOf, Event, SimulationError, Timeout
+from .process import Process
+
+__all__ = ["Engine", "EmptySchedule"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Engine.step` when no events remain."""
+
+
+class Engine:
+    """A minimal deterministic discrete-event simulation engine.
+
+    Typical use::
+
+        eng = Engine()
+
+        def worker(eng):
+            yield eng.timeout(1.5)
+            return "done"
+
+        proc = eng.process(worker(eng))
+        eng.run()
+        assert eng.now == 1.5 and proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: list = []  # (time, seq, event)
+        self._seq: int = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_proc
+
+    # -- scheduling ------------------------------------------------------
+    def _push(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute simulated ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past ({time} < {self._now})")
+        ev = Timeout(self, time - self._now)
+        ev.add_callback(lambda _: callback())
+        return ev
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    # -- run loop --------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when drained."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        try:
+            self._now, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains, or until simulated time ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the queue drains earlier, mirroring SimPy semantics.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return
+        if until < self._now:
+            raise SimulationError(f"until={until} lies in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= until:
+            self.step()
+        self._now = until
+
+    def run_until_complete(self, *processes: Process) -> None:
+        """Run until all given processes have finished (or the queue drains).
+
+        Raises the stored exception if any process failed, so protocol bugs
+        surface as test failures instead of silently-hung simulations.
+        """
+        while self._queue and not all(p.triggered for p in processes):
+            self.step()
+        # A protocol error on one node usually strands its peers waiting for
+        # messages that will never come; report the root cause, not the
+        # resulting deadlock.
+        for p in processes:
+            if p.triggered and p.ok is False:
+                raise p.value
+        for p in processes:
+            if not p.triggered:
+                raise SimulationError(
+                    "deadlock: event queue drained with processes still pending"
+                )

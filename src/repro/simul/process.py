@@ -1,0 +1,106 @@
+"""Generator-backed simulation processes.
+
+A :class:`Process` drives a generator: each ``yield``-ed :class:`Event`
+suspends the process until the event fires, at which point the event's value
+is sent back into the generator (or its exception thrown in).  The process
+itself is an event that fires with the generator's return value, so
+processes can wait on each other or be combined with ``AnyOf``/``AllOf``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .events import Event, Interrupt, SimulationError
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, engine, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process body must be a generator, got {generator!r}")
+        super().__init__(engine)
+        self._generator = generator
+        self._target: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume once at the current instant.
+        boot = Event(engine)
+        boot.succeed()
+        boot.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == 0  # PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Used for cancelling replica listeners once the first copy of a
+        raced packet arrives.  Interrupting a finished process is a no-op.
+        """
+        if not self.is_alive:
+            return
+        ev = Event(self.engine)
+        ev.fail(Interrupt(cause))
+        ev.add_callback(self._resume_interrupt)
+
+    # -- resume machinery --------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        if not self.is_alive:
+            return  # finished in the meantime; drop the interrupt
+        # Detach from whatever we were waiting on; that event may still fire
+        # later but must no longer resume us directly.
+        target, self._target = self._target, None
+        if target is not None:
+            if target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            cancel = getattr(target, "cancel", None)
+            if cancel is not None:
+                cancel()
+        self._step(event)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return  # stale wakeup delivered after the process finished
+        if event is not self._target and self._target is not None:
+            return  # stale wakeup after an interrupt detached us
+        self._target = None
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        prev, self.engine._active_proc = self.engine._active_proc, self
+        try:
+            if event._ok or event._ok is None:
+                target = self._generator.send(event._value if event._ok else None)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        finally:
+            self.engine._active_proc = prev
+
+        if not isinstance(target, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Events"
+            )
+            self._generator.close()
+            self.fail(err)
+            return
+        if target.engine is not self.engine:
+            self._generator.close()
+            self.fail(SimulationError("yielded an event from a different engine"))
+            return
+        self._target = target
+        target.add_callback(self._resume)

@@ -1,0 +1,113 @@
+"""Waitable FIFO stores — the mailbox primitive under the message fabric.
+
+:class:`Store` is an unbounded FIFO with event-returning ``get``.
+:class:`FilterStore` extends it with predicate-matching gets, which the
+cluster fabric uses to receive "the next message with tag T from node J"
+while leaving unrelated traffic queued.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from .events import Event
+
+__all__ = ["Store", "FilterStore"]
+
+
+class StoreGet(Event):
+    """A pending get. Supports cancellation so that an interrupted waiter
+    (e.g. a replica listener whose race was lost) never consumes an item."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self, engine):
+        super().__init__(engine)
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Store:
+    """Unbounded FIFO. ``put`` is immediate; ``get`` returns an event."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._items: deque = deque()
+        self._getters: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self._items.append(item)
+        self._dispatch()
+
+    def get(self) -> StoreGet:
+        ev = StoreGet(self.engine)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        while self._items and self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered or getter.cancelled:  # interrupted waiter
+                continue
+            getter.succeed(self._items.popleft())
+
+
+class FilterStore(Store):
+    """FIFO store whose getters may demand items matching a predicate.
+
+    Each pending getter is matched against queued items in arrival order;
+    the first match is delivered.  Getters without a predicate take the
+    oldest item.  Matching is O(waiters × items) which is fine at the
+    message counts a 64-node butterfly produces.
+    """
+
+    def __init__(self, engine):
+        super().__init__(engine)
+        self._filters: dict = {}
+
+    def get(self, filt: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        ev = StoreGet(self.engine)
+        if filt is not None:
+            self._filters[ev] = filt
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        if not self._items or not self._getters:
+            return
+        progressed = True
+        while progressed and self._items and self._getters:
+            progressed = False
+            still_waiting: deque = deque()
+            while self._getters:
+                getter = self._getters.popleft()
+                if getter.triggered or getter.cancelled:
+                    self._filters.pop(getter, None)
+                    continue
+                filt = self._filters.get(getter)
+                matched_at = -1
+                if filt is None:
+                    if self._items:
+                        matched_at = 0
+                else:
+                    for idx, item in enumerate(self._items):
+                        if filt(item):
+                            matched_at = idx
+                            break
+                if matched_at >= 0:
+                    item = self._items[matched_at]
+                    del self._items[matched_at]
+                    self._filters.pop(getter, None)
+                    getter.succeed(item)
+                    progressed = True
+                else:
+                    still_waiting.append(getter)
+            self._getters = still_waiting

@@ -1,0 +1,95 @@
+"""Nested range partitioning of the hashed key space (§III-A).
+
+A :class:`KeyRange` is a half-open interval of the hash space.  Splitting a
+range into ``d`` equal sub-ranges gives the per-neighbour partitions at one
+butterfly layer; the *nesting* property of Kylix is exactly that a node's
+layer-``i`` range is one of the ``d_i`` equal sub-ranges of its
+layer-``i-1`` range, so all indices merged below lie in the same range and
+overlap (collision) is maximised.
+
+Because protocol key arrays are kept sorted, splitting is a
+``searchsorted`` against the sub-range boundaries: each part is a
+contiguous slice, and re-assembling the parts in order is plain
+concatenation.  That contiguity is what makes the upward (allgather) pass
+of Kylix a concatenation rather than a shuffle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KeyRange", "split_sorted"]
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """Half-open interval ``[lo, hi)`` of the hashed key space.
+
+    Bounds are Python ints (the key space is the full 64-bit ring, which
+    overflows fixed-width arithmetic if handled carelessly).
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self):
+        if not 0 <= self.lo < self.hi <= (1 << 64):
+            raise ValueError(f"invalid key range [{self.lo}, {self.hi})")
+
+    @property
+    def extent(self) -> int:
+        return self.hi - self.lo
+
+    @classmethod
+    def full(cls, key_space: int = 1 << 64) -> "KeyRange":
+        return cls(0, key_space)
+
+    def contains(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        ok = keys >= np.uint64(self.lo)
+        if self.hi < (1 << 64):
+            ok &= keys < np.uint64(self.hi)
+        return ok
+
+    def boundaries(self, parts: int) -> list[int]:
+        """The ``parts+1`` boundary keys of an equal split (Python ints)."""
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        ext = self.extent
+        return [self.lo + (ext * q) // parts for q in range(parts + 1)]
+
+    def subrange(self, q: int, parts: int) -> "KeyRange":
+        """The ``q``-th of ``parts`` equal sub-ranges."""
+        bounds = self.boundaries(parts)
+        if not 0 <= q < parts:
+            raise ValueError(f"part index {q} out of range for {parts} parts")
+        return KeyRange(bounds[q], bounds[q + 1])
+
+    def owner_of(self, keys: np.ndarray, parts: int) -> np.ndarray:
+        """Which of the ``parts`` sub-ranges each key falls into."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size and not bool(self.contains(keys).all()):
+            raise ValueError("keys outside this range")
+        inner = np.array(self.boundaries(parts)[1:-1], dtype=np.uint64)
+        return np.searchsorted(inner, keys, side="right").astype(np.intp)
+
+
+def split_sorted(keys: np.ndarray, rng: KeyRange, parts: int) -> list[slice]:
+    """Slices of a sorted key array corresponding to ``parts`` equal sub-ranges.
+
+    Returns ``parts`` slice objects; ``keys[slices[q]]`` is exactly the set
+    of keys belonging to sub-range ``q``.  O(parts · log n).
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    bounds = rng.boundaries(parts)
+    inner = np.array(bounds[1:-1], dtype=np.uint64)
+    cuts = np.searchsorted(keys, inner, side="left")
+    offsets = [0, *cuts.tolist(), keys.size]
+    if keys.size:
+        if int(keys[0]) < rng.lo:
+            raise ValueError("keys below the partition range")
+        if rng.hi < (1 << 64) and int(keys[-1]) >= rng.hi:
+            raise ValueError("keys above the partition range")
+    return [slice(offsets[q], offsets[q + 1]) for q in range(parts)]

@@ -1,0 +1,164 @@
+"""Tests for the generalized butterfly topology."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.allreduce import ButterflyTopology, binary_degrees, uniform_degrees, validate_degrees
+
+
+class TestValidation:
+    def test_product_must_match(self):
+        with pytest.raises(ValueError):
+            validate_degrees([4, 4], 8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            validate_degrees([], 1)
+
+    def test_zero_degree_rejected(self):
+        with pytest.raises(ValueError):
+            validate_degrees([0, 8], 0)
+
+    def test_binary_degrees(self):
+        assert binary_degrees(8) == [2, 2, 2]
+        assert binary_degrees(1) == [1]
+        with pytest.raises(ValueError):
+            binary_degrees(6)
+
+    def test_uniform_degrees(self):
+        assert uniform_degrees(64, 4) == [4, 4, 4]
+        with pytest.raises(ValueError):
+            uniform_degrees(10, 4)
+        with pytest.raises(ValueError):
+            uniform_degrees(8, 1)
+
+
+class TestDigits:
+    def test_digits_roundtrip(self):
+        topo = ButterflyTopology([8, 4, 2], 64)
+        for node in range(64):
+            assert topo.node_from_digits(topo.digits(node)) == node
+
+    def test_digit_ranges(self):
+        topo = ButterflyTopology([8, 4, 2], 64)
+        for node in range(64):
+            q1, q2, q3 = topo.digits(node)
+            assert 0 <= q1 < 8 and 0 <= q2 < 4 and 0 <= q3 < 2
+
+    def test_bad_digits_rejected(self):
+        topo = ButterflyTopology([4, 2], 8)
+        with pytest.raises(ValueError):
+            topo.node_from_digits([4, 0])
+        with pytest.raises(ValueError):
+            topo.node_from_digits([0])
+
+    def test_bounds_checked(self):
+        topo = ButterflyTopology([4, 2], 8)
+        with pytest.raises(ValueError):
+            topo.digit(8, 1)
+        with pytest.raises(ValueError):
+            topo.digit(0, 3)
+
+
+class TestGroups:
+    def test_group_size_equals_degree(self):
+        topo = ButterflyTopology([8, 4, 2], 64)
+        for layer, d in enumerate(topo.degrees, start=1):
+            for node in (0, 17, 63):
+                assert len(topo.group(node, layer)) == d
+
+    def test_node_at_own_position(self):
+        topo = ButterflyTopology([8, 4, 2], 64)
+        for node in range(64):
+            for layer in (1, 2, 3):
+                group = topo.group(node, layer)
+                assert group[topo.position(node, layer)] == node
+
+    def test_groups_partition_cluster(self):
+        """At each layer, the groups are disjoint and cover all nodes."""
+        topo = ButterflyTopology([4, 4], 16)
+        for layer in (1, 2):
+            seen = set()
+            for node in range(16):
+                g = tuple(topo.group(node, layer))
+                if node == min(g):
+                    assert not seen & set(g)
+                    seen |= set(g)
+            assert seen == set(range(16))
+
+    def test_group_membership_symmetric(self):
+        topo = ButterflyTopology([8, 4, 2], 64)
+        for node in (3, 31, 48):
+            for layer in (1, 2, 3):
+                for member in topo.group(node, layer):
+                    assert set(topo.group(member, layer)) == set(topo.group(node, layer))
+
+    def test_direct_topology_single_group(self):
+        topo = ButterflyTopology([16], 16)
+        assert topo.group(5, 1) == list(range(16))
+        assert topo.position(5, 1) == 5
+
+
+class TestNestedRanges:
+    def test_layer0_is_full_space(self):
+        topo = ButterflyTopology([4, 2], 8, key_space=1000)
+        rng = topo.key_range(3, 0)
+        assert rng.lo == 0 and rng.hi == 1000
+
+    def test_ranges_nest(self):
+        topo = ButterflyTopology([8, 4, 2], 64)
+        for node in (0, 21, 63):
+            prev = topo.key_range(node, 0)
+            for layer in (1, 2, 3):
+                cur = topo.key_range(node, layer)
+                assert prev.lo <= cur.lo < cur.hi <= prev.hi
+                prev = cur
+
+    def test_group_members_share_parent_range(self):
+        """The nesting property: a layer-i group shares its layer-(i-1) range."""
+        topo = ButterflyTopology([8, 4, 2], 64)
+        for node in (5, 42):
+            for layer in (1, 2, 3):
+                parent = topo.key_range(node, layer - 1)
+                for member in topo.group(node, layer):
+                    assert topo.key_range(member, layer - 1) == parent
+
+    def test_bottom_ranges_tile_key_space(self):
+        topo = ButterflyTopology([4, 2], 8, key_space=816)
+        ranges = sorted(
+            (topo.key_range(n, 2) for n in range(8)), key=lambda r: r.lo
+        )
+        assert ranges[0].lo == 0 and ranges[-1].hi == 816
+        for a, b in zip(ranges, ranges[1:]):
+            assert a.hi == b.lo
+
+    def test_group_positions_map_to_subranges(self):
+        """Member at position q owns sub-range q of the shared parent range."""
+        topo = ButterflyTopology([4, 2], 8, key_space=800)
+        node = 0
+        layer = 1
+        parent = topo.key_range(node, 0)
+        for q, member in enumerate(topo.group(node, layer)):
+            assert topo.key_range(member, layer) == parent.subrange(q, 4)
+
+
+@given(
+    st.lists(st.sampled_from([2, 3, 4, 5, 8]), min_size=1, max_size=4),
+    st.data(),
+)
+def test_prop_topology_invariants(degrees, data):
+    m = int(np.prod(degrees))
+    topo = ButterflyTopology(degrees, m)
+    node = data.draw(st.integers(0, m - 1))
+    layer = data.draw(st.integers(1, len(degrees)))
+    group = topo.group(node, layer)
+    # group membership symmetric, node at its digit position, ranges nested
+    assert group[topo.digit(node, layer)] == node
+    assert len(set(group)) == degrees[layer - 1]
+    parent = topo.key_range(node, layer - 1)
+    child = topo.key_range(node, layer)
+    assert parent.lo <= child.lo < child.hi <= parent.hi
+    for member in group:
+        assert topo.key_range(member, layer - 1) == parent

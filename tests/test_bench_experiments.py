@@ -1,0 +1,111 @@
+"""Unit tests for experiment result classes on miniature workloads.
+
+The full-size drivers are exercised by ``benchmarks/``; here the result
+objects' accessors and table rendering are pinned down cheaply.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import run_fig2, run_fig5, run_fig6, run_fig7
+from repro.bench.experiments import (
+    Fig8Result,
+    Fig9Result,
+    ScalingRow,
+    Table1Column,
+    Table1Result,
+    TopologyTiming,
+)
+from repro.data import twitter_like
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return twitter_like(m=8, n_vertices=4_000)
+
+
+class TestFig2Result:
+    def test_utilization_interpolates(self):
+        r = run_fig2(sizes=[1e5, 1e6, 1e7])
+        u_mid = r.utilization_at(3e6)
+        assert r.utilization_at(1e5) < u_mid < r.utilization_at(1e7)
+
+    def test_table_renders(self):
+        r = run_fig2(sizes=[1e5, 1e6])
+        assert "Fig 2" in r.table() and "GB/s" in r.table()
+
+
+class TestFig5Result:
+    def test_volumes_list_layout(self, tiny):
+        r = run_fig5(tiny, [4, 2])
+        assert len(r.volumes_list) == 3
+        assert r.volumes_list[-1] == r.bottom_volume
+        assert "Prop 4.1" in r.table()
+
+
+class TestFig6Result:
+    def test_by_name(self, tiny):
+        r = run_fig6(tiny, [4, 2], reduce_iters=1)
+        assert {t.name for t in r.timings} == {
+            "direct", "optimal butterfly", "binary butterfly"
+        }
+        opt = r.by_name("optimal butterfly")
+        assert opt.total_s == pytest.approx(opt.config_s + opt.reduce_s)
+        with pytest.raises(StopIteration):
+            r.by_name("no-such-topology")
+
+    def test_topology_timing_total(self):
+        t = TopologyTiming("x", (2,), 1.0, 2.0)
+        assert t.total_s == 3.0
+
+
+class TestFig7Result:
+    def test_time_at(self, tiny):
+        r = run_fig7(tiny, [4, 2], threads=(1, 4))
+        assert r.time_at(1) > 0 and r.time_at(4) > 0
+        with pytest.raises(KeyError):
+            r.time_at(99)
+
+
+class TestTable1Result:
+    def test_by_label(self):
+        cols = [
+            Table1Column("a", 0, 1.0, 2.0),
+            Table1Column("b", 2, 3.0, 4.0),
+        ]
+        r = Table1Result(cols)
+        assert r.by_label("b", 2).reduce_s == 4.0
+        with pytest.raises(StopIteration):
+            r.by_label("a", 5)
+        assert "Table I" in r.table()
+
+
+class TestFig8Result:
+    def test_ratios(self):
+        r = Fig8Result(
+            dataset="d",
+            kylix_s=1.0,
+            powergraph_s=4.0,
+            kylix_paper_scale_s=10.0,
+            hadoop_paper_scale_s=5000.0,
+            scale_factor=10.0,
+        )
+        assert r.vs_powergraph == 4.0
+        assert r.vs_hadoop == 500.0
+        assert "PowerGraph" in r.table()
+
+
+class TestFig9Result:
+    def test_speedup_and_shares(self):
+        rows = [
+            ScalingRow(4, (4,), 8.0, 2.0),
+            ScalingRow(8, (8,), 4.0, 1.0),
+        ]
+        r = Fig9Result("d", rows)
+        assert r.speedup(8) == pytest.approx(2.0)
+        assert rows[0].comm_share == pytest.approx(0.2)
+        assert rows[0].total_s == 10.0
+        assert "speedup" in r.table()
+
+    def test_zero_total_share(self):
+        assert ScalingRow(1, (1,), 0.0, 0.0).comm_share == 0.0

@@ -1,0 +1,69 @@
+"""Unit tests for the degree-stack sweep machinery."""
+
+import numpy as np
+import pytest
+
+from repro.bench.sweeps import SweepResult, SweepRow, all_degree_stacks, sweep_degree_stacks
+from repro.data import twitter_like
+
+
+class TestAllDegreeStacks:
+    def test_small_cases(self):
+        assert all_degree_stacks(1) == [(1,)]
+        assert all_degree_stacks(2) == [(2,)]
+        assert set(all_degree_stacks(4)) == {(4,), (2, 2)}
+        assert set(all_degree_stacks(6)) == {(6,), (3, 2), (2, 3)}
+        assert set(all_degree_stacks(12)) == {
+            (12,), (6, 2), (4, 3), (3, 4), (2, 6),
+            (3, 2, 2), (2, 3, 2), (2, 2, 3),
+        }
+
+    def test_every_stack_multiplies_to_m(self):
+        for m in (8, 24, 64):
+            for stack in all_degree_stacks(m):
+                assert int(np.prod(stack)) == m
+                assert all(d >= 2 for d in stack) or stack == (1,)
+
+    def test_count_for_64(self):
+        # ordered factorizations of 2^6 into parts >= 2 = compositions of 6.
+        assert len(all_degree_stacks(64)) == 32
+
+    def test_ordering_shallow_first(self):
+        stacks = all_degree_stacks(16)
+        assert stacks[0] == (16,)
+        assert len(stacks[0]) <= len(stacks[-1])
+
+    def test_prime(self):
+        assert all_degree_stacks(13) == [(13,)]
+
+    def test_cap_and_validation(self):
+        assert len(all_degree_stacks(64, max_stacks=5)) <= 6
+        with pytest.raises(ValueError):
+            all_degree_stacks(0)
+
+
+class TestSweep:
+    def test_sweep_small_dataset(self):
+        ds = twitter_like(m=8, n_vertices=4_000)
+        res = sweep_degree_stacks(ds, (4, 2), reduce_iters=1)
+        assert len(res.rows) == len(all_degree_stacks(8))
+        # sorted fastest first
+        totals = [r.total_s for r in res.rows]
+        assert totals == sorted(totals)
+        # bookkeeping helpers
+        assert res.rank_of(res.best.degrees) == 1
+        assert res.gap_of(res.best.degrees) == pytest.approx(1.0)
+        assert res.gap_of((8,)) >= 1.0
+        with pytest.raises(KeyError):
+            res.rank_of((3, 3))
+        assert "workflow pick" in res.table()
+
+    def test_table_appends_pick_outside_top(self):
+        rows = [
+            SweepRow((4, 2), 0.0, 1.0),
+            SweepRow((2, 4), 0.0, 2.0),
+            SweepRow((8,), 0.0, 3.0),
+        ]
+        res = SweepResult("d", rows, workflow_pick=(8,))
+        out = res.table(top=1)
+        assert "rank 3" in out

@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro`` CLI and the run_all regenerator."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.bench.run_all import main as run_all_main
+
+
+class TestCLI:
+    def test_help(self, capsys):
+        assert cli_main([]) == 0
+        assert "experiments" in capsys.readouterr().out
+
+    def test_info(self, capsys):
+        assert cli_main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Kylix" in out and "8, 4, 2" in out
+
+    def test_demo_runs_and_is_exact(self, capsys):
+        assert cli_main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "exact: yes" in out
+        assert "Kylix shape" in out
+
+    def test_unknown_command(self, capsys):
+        assert cli_main(["nope"]) == 2
+
+    def test_experiments_dispatch(self, capsys):
+        assert cli_main(["experiments", "design"]) == 0
+        out = capsys.readouterr().out
+        assert "8x4x2" in out
+
+
+class TestRunAll:
+    def test_unknown_experiment_rejected(self, capsys):
+        assert run_all_main(["not-a-figure"]) == 2
+
+    def test_fast_experiments(self, capsys):
+        assert run_all_main(["fig2", "fig4", "design"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 2" in out and "Fig 4" in out and "design workflow" in out
+
+    def test_json_export(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "out.json"
+        assert run_all_main(["--json", str(path), "fig2", "design"]) == 0
+        data = json.loads(path.read_text())
+        assert set(data) == {"fig2", "design"}
+        assert len(data["fig2"][0]["rows"]) > 5
+        picks = {r["dataset"]: r["workflow_degrees"] for r in data["design"][0]["rows"]}
+        assert picks["twitter"] == [8, 4, 2]
+
+    def test_json_missing_path(self, capsys):
+        assert run_all_main(["--json"]) == 2

@@ -1,0 +1,250 @@
+"""Tests for the power-law data substrate: samplers, graphs, partitions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    EdgeGraph,
+    GraphPartition,
+    Minibatch,
+    MinibatchStream,
+    edges_for_density,
+    grid_graph,
+    harmonic_number,
+    make_powerlaw_dataset,
+    partition_density,
+    poisson_partition,
+    powerlaw_graph,
+    random_edge_partition,
+    ring_graph,
+    spmv_spec,
+    twitter_like,
+    yahoo_like,
+    zipf_probabilities,
+    zipf_sample,
+)
+
+
+class TestPowerlawSamplers:
+    def test_harmonic_number_small(self):
+        assert harmonic_number(3, 1.0) == pytest.approx(1 + 0.5 + 1 / 3)
+        assert harmonic_number(5, 0.0) == pytest.approx(5.0)
+
+    def test_harmonic_number_validation(self):
+        with pytest.raises(ValueError):
+            harmonic_number(0, 1.0)
+
+    def test_zipf_probabilities_normalized(self):
+        p = zipf_probabilities(1000, 0.9)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(p) <= 0)  # rank 0 most likely
+
+    def test_zipf_sample_range_and_skew(self):
+        rng = np.random.default_rng(0)
+        s = zipf_sample(1000, 20_000, 1.0, rng)
+        assert s.min() >= 0 and s.max() < 1000
+        counts = np.bincount(s, minlength=1000)
+        # head rank gets far more mass than a deep-tail rank
+        assert counts[0] > 10 * max(counts[500], 1)
+
+    def test_zipf_sample_matches_probabilities(self):
+        rng = np.random.default_rng(1)
+        n = 50
+        s = zipf_sample(n, 200_000, 0.8, rng)
+        emp = np.bincount(s, minlength=n) / s.size
+        np.testing.assert_allclose(emp, zipf_probabilities(n, 0.8), atol=0.01)
+
+    def test_zipf_alpha_zero_uniform(self):
+        rng = np.random.default_rng(2)
+        s = zipf_sample(10, 100_000, 0.0, rng)
+        counts = np.bincount(s, minlength=10) / s.size
+        np.testing.assert_allclose(counts, 0.1, atol=0.01)
+
+    def test_poisson_partition_density_matches_model(self):
+        from repro.design import density
+
+        n, lam, alpha = 5_000, 30.0, 1.0
+        rng = np.random.default_rng(3)
+        sizes = [poisson_partition(n, lam, alpha, rng).size for _ in range(30)]
+        assert np.mean(sizes) / n == pytest.approx(density(lam, alpha, n), rel=0.05)
+
+    def test_sampler_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            zipf_sample(100, -1, 1.0, rng)
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_partition(10, -1.0, 1.0, rng)
+
+
+class TestEdgeGraph:
+    def test_construction_and_degrees(self):
+        g = EdgeGraph(4, np.array([0, 1, 1]), np.array([1, 2, 3]))
+        assert g.n_edges == 3
+        assert g.out_degrees().tolist() == [1, 2, 0, 0]
+        assert g.in_degrees().tolist() == [0, 1, 1, 1]
+
+    def test_reverse(self):
+        g = EdgeGraph(3, np.array([0]), np.array([2]))
+        r = g.reverse()
+        assert r.src.tolist() == [2] and r.dst.tolist() == [0]
+
+    def test_to_csr_orientation(self):
+        g = EdgeGraph(3, np.array([0, 1]), np.array([1, 2]))
+        A = g.to_csr()
+        assert A[1, 0] == 1.0 and A[2, 1] == 1.0 and A[0, 1] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgeGraph(2, np.array([0, 1]), np.array([1]))
+        with pytest.raises(ValueError):
+            EdgeGraph(2, np.array([0]), np.array([5]))
+        with pytest.raises(ValueError):
+            EdgeGraph(2, np.array([-1]), np.array([0]))
+
+    def test_ring_graph(self):
+        g = ring_graph(5)
+        assert g.n_edges == 5
+        assert np.all(g.dst == (g.src + 1) % 5)
+
+    def test_grid_graph_bidirectional(self):
+        g = grid_graph(3)
+        assert g.n_vertices == 9
+        # 12 undirected grid edges -> 24 directed
+        assert g.n_edges == 24
+        A = g.to_csr()
+        assert (A != A.T).nnz == 0  # symmetric
+
+    def test_powerlaw_graph_properties(self):
+        g = powerlaw_graph(500, 5_000, alpha=1.0, seed=0)
+        assert g.n_edges == 5_000
+        deg = np.sort(g.in_degrees())[::-1]
+        # heavy head: top vertex holds many more edges than the median
+        assert deg[0] > 5 * max(np.median(deg), 1)
+
+
+class TestPartitioning:
+    def test_partitions_cover_all_edges(self):
+        g = powerlaw_graph(300, 2_000, seed=1)
+        parts = random_edge_partition(g, 8, seed=2)
+        assert sum(p.n_edges for p in parts) == g.n_edges
+
+    def test_vertex_sets_are_sorted_unique(self):
+        g = powerlaw_graph(300, 2_000, seed=1)
+        for p in random_edge_partition(g, 4, seed=3):
+            assert np.all(np.diff(p.in_vertices) > 0)
+            assert np.all(np.diff(p.out_vertices) > 0)
+            np.testing.assert_array_equal(p.in_vertices, np.unique(p.src))
+            np.testing.assert_array_equal(p.out_vertices, np.unique(p.dst))
+
+    def test_local_matrix_compact_spmv_matches_global(self):
+        g = powerlaw_graph(200, 1_500, seed=4)
+        parts = random_edge_partition(g, 4, seed=5)
+        v = np.random.default_rng(0).random(200)
+        total = np.zeros(200)
+        for p in parts:
+            w = p.local_matrix() @ v[p.in_vertices]
+            np.add.at(total, p.out_vertices, w)
+        np.testing.assert_allclose(total, g.to_csr() @ v, atol=1e-9)
+
+    def test_spmv_spec_shape(self):
+        g = powerlaw_graph(100, 500, seed=6)
+        parts = random_edge_partition(g, 4, seed=7)
+        spec = spmv_spec(parts)
+        assert set(spec.ranks) == {0, 1, 2, 3}
+
+    def test_partition_density(self):
+        g = powerlaw_graph(100, 500, seed=6)
+        parts = random_edge_partition(g, 4, seed=7)
+        d = partition_density(parts)
+        assert 0 < d <= 1
+        with pytest.raises(ValueError):
+            partition_density([])
+
+    def test_validation(self):
+        g = ring_graph(4)
+        with pytest.raises(ValueError):
+            random_edge_partition(g, 0)
+
+
+class TestDatasets:
+    def test_edges_for_density_roundtrip(self):
+        """Generated graphs hit the target partition density closely."""
+        ds = make_powerlaw_dataset("t", 20_000, 0.15, 0.9, 16, seed=0)
+        assert ds.measured_density == pytest.approx(0.15, rel=0.05)
+
+    def test_twitter_like_defaults(self):
+        ds = twitter_like(m=16, n_vertices=20_000)
+        assert ds.paper_degrees == (8, 4, 2)
+        assert ds.m == 16
+        assert ds.measured_density == pytest.approx(0.21, rel=0.1)
+
+    def test_yahoo_like_defaults(self):
+        ds = yahoo_like(m=16, n_vertices=50_000)
+        assert ds.paper_degrees == (16, 4)
+        assert ds.measured_density == pytest.approx(0.035, rel=0.1)
+
+    def test_model_anchors_at_measured_density(self):
+        ds = yahoo_like(m=8, n_vertices=20_000)
+        model = ds.model()
+        assert model.initial_density == pytest.approx(ds.measured_density, rel=1e-3)
+
+
+class TestMinibatchStream:
+    def test_batches_deterministic_per_rank(self):
+        s1 = MinibatchStream(100, seed=1)
+        s2 = MinibatchStream(100, seed=1)
+        b1 = s1.node_stream(0, 2)
+        b2 = s2.node_stream(0, 2)
+        np.testing.assert_array_equal(b1[0].features, b2[0].features)
+        np.testing.assert_array_equal(b1[0].labels, b2[0].labels)
+
+    def test_ranks_get_different_batches(self):
+        s = MinibatchStream(500, seed=1)
+        a = s.node_stream(0, 1)[0]
+        b = s.node_stream(1, 1)[0]
+        assert not (
+            a.features.shape == b.features.shape
+            and np.array_equal(a.features, b.features)
+        )
+
+    def test_batch_shapes_consistent(self):
+        s = MinibatchStream(200, batch_size=16, nnz_per_example=5, seed=2)
+        b = s.node_stream(0, 1)[0]
+        assert b.batch_size == 16
+        assert b.matrix.shape == (16, b.features.size)
+        assert np.all(np.diff(b.features) > 0)
+        assert set(np.unique(b.labels)) <= {-1.0, 1.0}
+
+    def test_labels_mostly_match_ground_truth(self):
+        s = MinibatchStream(100, batch_size=256, noise=0.0, seed=3)
+        b = s.node_stream(0, 1)[0]
+        margins = b.labels * (b.matrix @ s.true_weights[b.features])
+        assert np.mean(margins >= 0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MinibatchStream(0)
+        with pytest.raises(ValueError):
+            MinibatchStream(10, noise=0.7)
+
+
+@given(st.integers(1, 500), st.floats(0.0, 2.0))
+@settings(max_examples=20, deadline=None)
+def test_prop_zipf_probabilities_valid(n, alpha):
+    p = zipf_probabilities(n, alpha)
+    assert p.size == n
+    assert p.sum() == pytest.approx(1.0)
+    assert np.all(p > 0)
+
+
+@given(st.integers(2, 64))
+@settings(max_examples=15, deadline=None)
+def test_prop_partition_preserves_edge_multiset(m):
+    g = powerlaw_graph(100, 800, seed=9)
+    parts = random_edge_partition(g, m, seed=10)
+    src = np.sort(np.concatenate([p.src for p in parts]))
+    np.testing.assert_array_equal(src, np.sort(g.src))

@@ -1,0 +1,253 @@
+"""Tests for the power-law density model and the degree optimizer (§IV)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design import (
+    EmpiricalDensityCurve,
+    PowerLawModel,
+    density,
+    divisors_desc,
+    invert_density,
+    layer_scale_factors,
+    measure_union_densities,
+    optimal_degrees,
+    predict_layers,
+)
+
+
+class TestDensityFunction:
+    def test_zero_lambda_zero_density(self):
+        assert density(0.0, 1.0, 1000) == 0.0
+
+    def test_density_monotone_in_lambda(self):
+        lams = [0.01, 0.1, 1.0, 10.0, 100.0]
+        ds = [density(l, 1.0, 10_000) for l in lams]
+        assert all(a < b for a, b in zip(ds, ds[1:]))
+
+    def test_density_bounded(self):
+        assert 0.0 <= density(1e9, 0.5, 1000) <= 1.0
+
+    def test_saturates_to_one(self):
+        assert density(1e12, 0.5, 1000) == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_direct_sum_small_n(self):
+        n, lam, alpha = 500, 3.0, 1.2
+        r = np.arange(1, n + 1, dtype=float)
+        exact = float(np.mean(1 - np.exp(-lam * r**-alpha)))
+        assert density(lam, alpha, n) == pytest.approx(exact, rel=1e-12)
+
+    def test_tail_quadrature_accuracy(self):
+        """Large-n path (head + quadrature) must match a brute-force sum."""
+        n, lam, alpha = 200_000, 50.0, 0.8
+        r = np.arange(1, n + 1, dtype=float)
+        exact = float(np.mean(1 - np.exp(-lam * r**-alpha)))
+        assert density(lam, alpha, n) == pytest.approx(exact, rel=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            density(1.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            density(-1.0, 1.0, 10)
+        with pytest.raises(ValueError):
+            density(1.0, -1.0, 10)
+
+    def test_monte_carlo_agreement(self):
+        """Prop 4.1's Poisson model vs an actual Poisson draw."""
+        n, lam, alpha = 2_000, 20.0, 1.0
+        rng = np.random.default_rng(0)
+        rates = lam * np.arange(1, n + 1, dtype=float) ** -alpha
+        trials = 200
+        present = rng.poisson(rates, size=(trials, n)) > 0
+        mc = present.mean()
+        assert density(lam, alpha, n) == pytest.approx(mc, rel=0.02)
+
+
+class TestInvertDensity:
+    @pytest.mark.parametrize("target", [0.01, 0.035, 0.21, 0.5, 0.9])
+    def test_roundtrip(self, target):
+        n, alpha = 100_000, 0.9
+        lam = invert_density(target, alpha, n)
+        assert density(lam, alpha, n) == pytest.approx(target, rel=1e-6)
+
+    def test_invalid_targets(self):
+        with pytest.raises(ValueError):
+            invert_density(0.0, 1.0, 100)
+        with pytest.raises(ValueError):
+            invert_density(1.0, 1.0, 100)
+
+
+class TestScaleFactors:
+    def test_paper_example(self):
+        # degrees 8x4x2: K = 1, 8, 32 and bottom 64.
+        assert layer_scale_factors([8, 4, 2]) == [1, 8, 32, 64]
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            layer_scale_factors([4, 0])
+
+
+class TestPowerLawModel:
+    def test_anchoring_at_measured_density(self):
+        m = PowerLawModel.from_initial_density(0.21, 0.9, 60_000)
+        assert m.initial_density == pytest.approx(0.21, rel=1e-6)
+
+    def test_layer_densities_increase(self):
+        """Unioning more partitions can only densify (Prop 4.1)."""
+        m = PowerLawModel.from_initial_density(0.1, 1.0, 100_000)
+        ds = m.layer_densities([4, 4, 2])
+        assert all(a <= b + 1e-12 for a, b in zip(ds, ds[1:]))
+
+    def test_layer_node_elements_decrease(self):
+        """Per-node data shrinks down the layers — the Kylix shape."""
+        m = PowerLawModel.from_initial_density(0.21, 0.9, 1_000_000)
+        elems = m.layer_node_elements([8, 4, 2])
+        assert all(a >= b for a, b in zip(elems, elems[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerLawModel(0, 1.0, 1.0)
+        m = PowerLawModel(100, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            m.density_at_scale(0)
+
+
+class TestOptimizer:
+    def test_divisors(self):
+        assert divisors_desc(64) == [64, 32, 16, 8, 4, 2]
+        assert divisors_desc(12) == [12, 6, 4, 3, 2]
+        assert divisors_desc(1) == []
+        with pytest.raises(ValueError):
+            divisors_desc(0)
+
+    def test_degrees_multiply_to_cluster_size(self):
+        m = PowerLawModel.from_initial_density(0.1, 0.9, 500_000)
+        for nodes in (4, 8, 16, 64, 96):
+            degs = optimal_degrees(m, nodes, min_packet_bytes=1e4)
+            assert int(np.prod(degs)) == nodes
+
+    def test_paper_twitter_degrees(self):
+        """§VII-A: the Twitter graph (n=60M, D0=0.21) gives 8x4x2 on 64
+        nodes with the paper's 5MB packet floor (4-byte elements)."""
+        m = PowerLawModel.from_initial_density(0.21, 0.9, 60_000_000)
+        degs = optimal_degrees(m, 64, min_packet_bytes=5e6, bytes_per_element=4)
+        assert degs == [8, 4, 2]
+
+    def test_paper_yahoo_degrees(self):
+        """§VII-A: the Yahoo graph (n=1.4B, D0=0.035) gives 16x4; our
+        greedy needs a slightly higher floor (6.2MB) to match exactly —
+        at 5MB it returns [32, 2], an equally-shallow stack."""
+        m = PowerLawModel.from_initial_density(0.035, 0.9, 1_400_000_000)
+        degs = optimal_degrees(m, 64, min_packet_bytes=6.2e6, bytes_per_element=4)
+        assert degs == [16, 4]
+        degs5 = optimal_degrees(m, 64, min_packet_bytes=5e6, bytes_per_element=4)
+        assert degs5 == [32, 2]
+
+    def test_degrees_non_increasing(self):
+        """§I: 'the butterfly degrees also decrease down the layers'."""
+        m = PowerLawModel.from_initial_density(0.21, 0.9, 10_000_000)
+        degs = optimal_degrees(m, 64, min_packet_bytes=5e6, bytes_per_element=4)
+        assert all(a >= b for a, b in zip(degs, degs[1:]))
+
+    def test_tiny_data_collapses_to_direct(self):
+        """When even two-way splits are overhead-bound, use one layer."""
+        m = PowerLawModel.from_initial_density(0.01, 1.0, 1_000)
+        assert optimal_degrees(m, 64, min_packet_bytes=5e6) == [64]
+
+    def test_huge_data_prefers_wide_layers(self):
+        m = PowerLawModel.from_initial_density(0.9, 0.5, 10**9)
+        degs = optimal_degrees(m, 64, min_packet_bytes=5e6)
+        assert degs[0] == 64
+
+    def test_single_node(self):
+        m = PowerLawModel.from_initial_density(0.5, 1.0, 1000)
+        assert optimal_degrees(m, 1, min_packet_bytes=1.0) == [1]
+
+    def test_validation(self):
+        m = PowerLawModel.from_initial_density(0.5, 1.0, 1000)
+        with pytest.raises(ValueError):
+            optimal_degrees(m, 0, min_packet_bytes=1.0)
+        with pytest.raises(ValueError):
+            optimal_degrees(m, 4, min_packet_bytes=0.0)
+
+    def test_predict_layers_shape(self):
+        m = PowerLawModel.from_initial_density(0.21, 0.9, 1_000_000)
+        rows = predict_layers(m, [8, 4, 2], 64, bytes_per_element=4)
+        assert len(rows) == 4  # 3 layers + bottom
+        assert [r.scale for r in rows] == [1, 8, 32, 64]
+        assert rows[-1].degree == 0
+        # message = node data / degree
+        assert rows[0].message_elements == pytest.approx(rows[0].node_elements / 8)
+        # total volume decreases down the stack (the Kylix shape)
+        vols = [r.total_volume_elements for r in rows]
+        assert all(a >= b for a, b in zip(vols, vols[1:]))
+
+
+class TestEmpiricalCurve:
+    def _partitions(self, m=16, n=2_000, seed=1):
+        rng = np.random.default_rng(seed)
+        return {
+            r: rng.choice(n, size=400, replace=False).astype(np.int64)
+            for r in range(m)
+        }, n
+
+    def test_measured_densities_monotone(self):
+        parts, n = self._partitions()
+        pts = measure_union_densities(parts, n, [1, 2, 4, 8, 16], seed=0)
+        vals = [pts[k] for k in (1, 2, 4, 8, 16)]
+        assert all(a <= b for a, b in zip(vals, vals[1:]))
+
+    def test_curve_interpolates(self):
+        parts, n = self._partitions()
+        curve = EmpiricalDensityCurve.from_partitions(parts, n)
+        d1, d4, d16 = (curve.density_at_scale(k) for k in (1, 4, 16))
+        assert 0 < d1 <= d4 <= d16 <= 1
+
+    def test_curve_feeds_optimizer(self):
+        parts, n = self._partitions()
+        curve = EmpiricalDensityCurve.from_partitions(parts, n)
+        degs = optimal_degrees(curve, 16, min_packet_bytes=10.0)
+        assert int(np.prod(degs)) == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalDensityCurve(0, {1: 0.5})
+        with pytest.raises(ValueError):
+            EmpiricalDensityCurve(10, {})
+        with pytest.raises(ValueError):
+            EmpiricalDensityCurve(10, {1: 0.9, 2: 0.1})  # decreasing
+        parts, n = self._partitions(m=4)
+        with pytest.raises(ValueError):
+            measure_union_densities(parts, n, [8])  # scale > m
+        with pytest.raises(ValueError):
+            measure_union_densities({}, 10, [1])
+
+    def test_empirical_matches_analytic_on_powerlaw_data(self):
+        """Partitions drawn from the Poisson power-law model must produce
+        an empirical curve close to the analytic one."""
+        n, alpha, lam, m = 5_000, 1.0, 30.0, 8
+        rng = np.random.default_rng(2)
+        rates = lam * np.arange(1, n + 1, dtype=float) ** -alpha
+        parts = {
+            r: np.flatnonzero(rng.poisson(rates) > 0).astype(np.int64)
+            for r in range(m)
+        }
+        curve = EmpiricalDensityCurve.from_partitions(parts, n, trials=4, seed=3)
+        model = PowerLawModel(n, alpha, lam)
+        for k in (1, 2, 4, 8):
+            assert curve.density_at_scale(k) == pytest.approx(
+                model.density_at_scale(k), rel=0.1
+            )
+
+
+@given(
+    st.floats(0.05, 0.95),
+    st.floats(0.3, 2.0),
+    st.integers(100, 100_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_prop_invert_density_roundtrip(target, alpha, n):
+    lam = invert_density(target, alpha, n)
+    assert density(lam, alpha, n) == pytest.approx(target, rel=1e-4)

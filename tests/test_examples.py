@@ -1,0 +1,51 @@
+"""Smoke tests: every shipped example must run clean end-to-end.
+
+Each example is executed as a real subprocess (``python examples/x.py``)
+so import paths, prints and assertions are exercised exactly as a user
+would hit them.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_example_inventory():
+    """The README promises six walkthroughs; keep the list honest."""
+    assert set(ALL_EXAMPLES) == {
+        "quickstart.py",
+        "pagerank_graph_mining.py",
+        "minibatch_sgd.py",
+        "fault_tolerance.py",
+        "network_design.py",
+        "recommender_and_topics.py",
+    }
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_runs(name):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    assert proc.stdout.strip(), f"{name} produced no output"
+
+
+def test_quickstart_outputs_expected_shape():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "exact sums" in proc.stdout
+    assert "reduce-down volume by layer" in proc.stdout

@@ -1,0 +1,157 @@
+"""Unit tests for the fabric's contention mechanisms.
+
+These terms (service jitter, TCP-incast penalty, receive-side thread
+processing) drive the paper's topology comparisons, so each is pinned
+down in isolation here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.netmodel import NetworkParams
+
+
+def send_k_to_one(cluster, k, nbytes, stagger=0.0):
+    """k senders -> node 0; returns completion time."""
+
+    def proto(node):
+        if node.rank == 0:
+            for _ in range(k):
+                yield node.recv(tag="x")
+        else:
+            if stagger:
+                yield node.engine.timeout(stagger * node.rank)
+            node.send(0, None, nbytes=nbytes, tag="x")
+
+    cluster.run(proto)
+    return cluster.now
+
+
+class TestIncastPenalty:
+    def base_params(self, incast=0.0):
+        return NetworkParams(
+            bandwidth=1e9,
+            message_overhead=0.0,
+            base_latency=0.0,
+            incast_overhead=incast,
+        )
+
+    def test_no_penalty_for_single_flow(self):
+        c0 = Cluster(2, params=self.base_params(0.0))
+        c1 = Cluster(2, params=self.base_params(1e-3))
+        t0 = send_k_to_one(c0, 1, 1_000_000)
+        t1 = send_k_to_one(c1, 1, 1_000_000)
+        assert t0 == t1  # an uncontended arrival pays nothing
+
+    def test_penalty_charged_per_contended_arrival(self):
+        k, nbytes, rho = 8, 1_000_000, 1e-3
+        plain = send_k_to_one(Cluster(9, params=self.base_params(0.0)), k, nbytes)
+        incast = send_k_to_one(Cluster(9, params=self.base_params(rho)), k, nbytes)
+        # first arrival is free, the k-1 queued ones each pay rho
+        assert incast - plain == pytest.approx((k - 1) * rho, rel=1e-6)
+
+    def test_staggered_arrivals_avoid_penalty(self):
+        """Arrivals spaced wider than the transfer time never queue."""
+        k, nbytes = 4, 1_000_000  # 1ms transfers
+        c = Cluster(5, params=self.base_params(5e-3))
+        t = send_k_to_one(c, k, nbytes, stagger=0.01)
+        # last sender starts at 0.04, finishes 1ms later; no penalties.
+        assert t == pytest.approx(0.04 + 1e-3, rel=1e-6)
+
+    def test_negative_incast_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkParams(incast_overhead=-1.0)
+
+
+class TestServiceJitter:
+    def test_zero_sigma_deterministic(self):
+        p = NetworkParams(bandwidth=1e9, service_sigma=0.0)
+        times = [send_k_to_one(Cluster(3, params=p, seed=s), 2, 10_000) for s in (1, 2)]
+        assert times[0] == times[1]
+
+    def test_jitter_changes_timing_not_payloads(self):
+        p = NetworkParams(bandwidth=1e9, service_sigma=1.0)
+        got = {}
+
+        def proto(node):
+            if node.rank == 0:
+                node.send(1, "payload", nbytes=1000, tag="t")
+            else:
+                msg = yield node.recv(tag="t")
+                got["x"] = msg.payload
+
+        times = []
+        for seed in (1, 2):
+            c = Cluster(2, params=p, seed=seed)
+            c.run(proto)
+            times.append(c.now)
+        assert times[0] != times[1]
+        assert got["x"] == "payload"
+
+    def test_mean_preserved_over_many_messages(self):
+        """Lognormal service jitter is mean-1: many-message totals match
+        the deterministic fabric within a few percent."""
+        k, nbytes = 400, 100_000
+        p0 = NetworkParams(bandwidth=1e9, service_sigma=0.0)
+        p1 = NetworkParams(bandwidth=1e9, service_sigma=0.7)
+        t0 = send_k_to_one(Cluster(2, params=p0), 1, nbytes * k)  # one big
+        # many messages, serialized at the receiver: total ~ sum of jittered
+        c = Cluster(2, params=p1, seed=3)
+
+        def proto(node):
+            if node.rank == 0:
+                for i in range(k):
+                    yield node.recv(tag=i)
+            else:
+                for i in range(k):
+                    node.send(0, None, nbytes=nbytes, tag=i)
+
+        c.run(proto)
+        assert c.now == pytest.approx(t0, rel=0.15)
+
+
+class TestReceiveProcessing:
+    def params(self, rbc, threads_overhead=0.0):
+        return NetworkParams(
+            bandwidth=1e12,  # wire ~free; processing dominates
+            message_overhead=threads_overhead,
+            base_latency=0.0,
+            recv_byte_cpu=rbc,
+        )
+
+    def test_processing_delays_delivery(self):
+        nbytes = 1_000_000
+        c0 = Cluster(2, params=self.params(0.0))
+        c1 = Cluster(2, params=self.params(1e-9))
+        t0 = send_k_to_one(c0, 1, nbytes)
+        t1 = send_k_to_one(c1, 1, nbytes)
+        assert t1 - t0 == pytest.approx(1e-3, rel=1e-3)
+
+    def test_threads_overlap_processing(self):
+        """With T receiver threads, T message processings run concurrently."""
+        k, nbytes = 8, 1_000_000  # 1ms processing each at 1e-9 s/B
+
+        def run(threads):
+            c = Cluster(9, params=self.params(1e-9), threads=threads)
+            return send_k_to_one(c, k, nbytes)
+
+        t1, t8 = run(1), run(8)
+        assert t1 == pytest.approx(8e-3, rel=0.05)
+        assert t8 == pytest.approx(1e-3, rel=0.05)
+
+    def test_zero_processing_skips_thread_slots(self):
+        c = Cluster(2, params=self.params(0.0), threads=1)
+        t = send_k_to_one(c, 1, 1_000_000)
+        assert t == pytest.approx(1_000_000 / 1e12, rel=1e-3)
+
+
+class TestOversubscriptionPenalty:
+    def test_software_threads_beyond_hw_pay_overhead(self):
+        p = NetworkParams(bandwidth=1e12, message_overhead=1e-3, base_latency=0.0)
+
+        def one(threads):
+            c = Cluster(2, params=p, threads=threads, hw_threads=16)
+            return send_k_to_one(c, 1, 8)
+
+        assert one(64) > one(16) > 0

@@ -1,0 +1,127 @@
+"""Tests for the network performance model (params, curves, jitter)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netmodel import (
+    EC2_LIKE,
+    LOW_LATENCY,
+    LatencyModel,
+    NetworkParams,
+    logspaced_sizes,
+    throughput_curve,
+)
+
+
+class TestNetworkParams:
+    def test_defaults_valid(self):
+        assert EC2_LIKE.bandwidth == 1.25e9
+        assert LOW_LATENCY.message_overhead < EC2_LIKE.message_overhead
+
+    def test_message_time(self):
+        p = NetworkParams(bandwidth=1e9, message_overhead=1e-3)
+        assert p.message_time(1e6) == pytest.approx(1e-3 + 1e-3)
+        with pytest.raises(ValueError):
+            p.message_time(-1)
+
+    def test_effective_throughput_limits(self):
+        p = EC2_LIKE
+        assert p.effective_throughput(0) == 0.0
+        assert p.effective_throughput(1 << 30) == pytest.approx(p.bandwidth, rel=0.01)
+
+    def test_half_throughput_packet(self):
+        p = NetworkParams(bandwidth=1e9, message_overhead=1e-3)
+        assert p.half_throughput_packet == pytest.approx(1e6)
+        assert p.utilization(1e6) == pytest.approx(0.5)
+
+    def test_paper_anchors(self):
+        """The EC2 calibration hits the paper's two Fig-2 anchors."""
+        assert EC2_LIKE.utilization(0.4e6) == pytest.approx(0.30, abs=0.07)
+        assert EC2_LIKE.utilization(5e6) == pytest.approx(0.87, abs=0.07)
+        assert 1e6 < EC2_LIKE.min_efficient_packet(0.85) < 10e6
+
+    def test_min_efficient_packet_validation(self):
+        with pytest.raises(ValueError):
+            EC2_LIKE.min_efficient_packet(1.0)
+        with pytest.raises(ValueError):
+            EC2_LIKE.min_efficient_packet(0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            NetworkParams(bandwidth=0)
+        with pytest.raises(ValueError):
+            NetworkParams(message_overhead=-1)
+        with pytest.raises(ValueError):
+            NetworkParams(latency_sigma=-0.1)
+        with pytest.raises(ValueError):
+            NetworkParams(incast_overhead=-1e-3)
+
+
+class TestThroughputCurve:
+    def test_monotone_increasing(self):
+        pts = throughput_curve(EC2_LIKE)
+        t = [p.throughput_bytes_per_s for p in pts]
+        assert all(a < b for a, b in zip(t, t[1:]))
+
+    def test_utilization_bounded(self):
+        for p in throughput_curve(EC2_LIKE):
+            assert 0 < p.utilization < 1
+
+    def test_logspaced_sizes_validation(self):
+        with pytest.raises(ValueError):
+            logspaced_sizes(0, 100)
+        with pytest.raises(ValueError):
+            logspaced_sizes(100, 10)
+        with pytest.raises(ValueError):
+            logspaced_sizes(1, 100, count=1)
+
+
+class TestLatencyModel:
+    def test_no_jitter_is_deterministic(self):
+        m = LatencyModel(EC2_LIKE, seed=0)
+        assert m.sample() == EC2_LIKE.base_latency
+        assert m.sample_service_factor() == 1.0
+
+    def test_jitter_preserves_mean_latency(self):
+        p = NetworkParams(base_latency=1e-3, latency_sigma=1.0)
+        m = LatencyModel(p, seed=1)
+        draws = m.sample_many(200_000)
+        assert draws.mean() == pytest.approx(1e-3, rel=0.02)
+
+    def test_service_factor_mean_one(self):
+        p = NetworkParams(service_sigma=1.2)
+        m = LatencyModel(p, seed=2)
+        draws = np.array([m.sample_service_factor() for _ in range(100_000)])
+        assert draws.mean() == pytest.approx(1.0, rel=0.03)
+        assert np.all(draws > 0)
+
+    def test_jitter_is_heavy_tailed(self):
+        p = NetworkParams(base_latency=1e-3, latency_sigma=1.5)
+        m = LatencyModel(p, seed=3)
+        draws = m.sample_many(100_000)
+        assert draws.max() > 10 * np.median(draws)
+
+    def test_seeded_reproducibility(self):
+        p = NetworkParams(base_latency=1e-3, latency_sigma=0.7)
+        a = LatencyModel(p, seed=9).sample_many(100)
+        b = LatencyModel(p, seed=9).sample_many(100)
+        np.testing.assert_array_equal(a, b)
+
+
+@given(
+    st.floats(1e6, 1e11),
+    st.floats(0, 1e-1),
+    st.floats(1.0, 1e9),
+)
+@settings(max_examples=50)
+def test_prop_throughput_below_bandwidth(bandwidth, overhead, size):
+    p = NetworkParams(bandwidth=bandwidth, message_overhead=overhead)
+    assert p.effective_throughput(size) <= bandwidth * (1 + 1e-12)
+
+
+@given(st.floats(0.01, 0.99))
+def test_prop_min_efficient_packet_achieves_target(u):
+    size = EC2_LIKE.min_efficient_packet(u)
+    assert EC2_LIKE.utilization(size) == pytest.approx(u, rel=1e-9)

@@ -1,0 +1,334 @@
+"""Unit tests for the discrete-event engine and process machinery."""
+
+import pytest
+
+from repro.simul import (
+    AllOf,
+    AnyOf,
+    EmptySchedule,
+    Engine,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+    eng.timeout(2.5)
+    eng.run()
+    assert eng.now == 2.5
+
+
+def test_negative_timeout_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.timeout(-1.0)
+
+
+def test_run_until_stops_early_and_sets_clock():
+    eng = Engine()
+    fired = []
+    eng.schedule_at(5.0, lambda: fired.append(5))
+    eng.run(until=3.0)
+    assert eng.now == 3.0 and fired == []
+    eng.run(until=6.0)
+    assert fired == [5]
+
+
+def test_run_until_in_past_rejected():
+    eng = Engine()
+    eng.timeout(4.0)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.run(until=1.0)
+
+
+def test_step_on_empty_queue_raises():
+    with pytest.raises(EmptySchedule):
+        Engine().step()
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    eng = Engine()
+    order = []
+    for tag in range(5):
+        eng.schedule_at(1.0, lambda t=tag: order.append(t))
+    eng.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_event_succeed_delivers_value():
+    eng = Engine()
+    ev = eng.event()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    ev.succeed(42)
+    eng.run()
+    assert seen == [42]
+
+
+def test_event_double_trigger_rejected():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    eng = Engine()
+    with pytest.raises(TypeError):
+        eng.event().fail("not an exception")
+
+
+def test_callback_added_after_processing_runs_immediately():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed("x")
+    eng.run()
+    late = []
+    ev.add_callback(lambda e: late.append(e.value))
+    assert late == ["x"]
+
+
+def test_pending_event_value_unavailable():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        _ = eng.event().value
+
+
+class TestProcess:
+    def test_process_returns_value(self):
+        eng = Engine()
+
+        def body():
+            yield eng.timeout(1.0)
+            return "done"
+
+        proc = eng.process(body())
+        eng.run()
+        assert proc.value == "done"
+        assert eng.now == 1.0
+
+    def test_sequential_timeouts_accumulate(self):
+        eng = Engine()
+
+        def body():
+            for _ in range(4):
+                yield eng.timeout(0.5)
+
+        eng.process(body())
+        eng.run()
+        assert eng.now == pytest.approx(2.0)
+
+    def test_timeout_value_passed_back(self):
+        eng = Engine()
+        got = []
+
+        def body():
+            got.append((yield eng.timeout(1.0, value="payload")))
+
+        eng.process(body())
+        eng.run()
+        assert got == ["payload"]
+
+    def test_process_waits_on_process(self):
+        eng = Engine()
+
+        def child():
+            yield eng.timeout(3.0)
+            return 7
+
+        def parent():
+            result = yield eng.process(child())
+            return result * 2
+
+        p = eng.process(parent())
+        eng.run()
+        assert p.value == 14
+
+    def test_process_failure_propagates_to_waiter(self):
+        eng = Engine()
+
+        def child():
+            yield eng.timeout(1.0)
+            raise ValueError("boom")
+
+        def parent():
+            try:
+                yield eng.process(child())
+            except ValueError as e:
+                return f"caught {e}"
+
+        p = eng.process(parent())
+        eng.run()
+        assert p.value == "caught boom"
+
+    def test_run_until_complete_raises_process_error(self):
+        eng = Engine()
+
+        def bad():
+            yield eng.timeout(1.0)
+            raise RuntimeError("protocol bug")
+
+        p = eng.process(bad())
+        with pytest.raises(RuntimeError, match="protocol bug"):
+            eng.run_until_complete(p)
+
+    def test_run_until_complete_detects_deadlock(self):
+        eng = Engine()
+
+        def stuck():
+            yield eng.event()  # never triggered
+
+        p = eng.process(stuck())
+        with pytest.raises(SimulationError, match="deadlock"):
+            eng.run_until_complete(p)
+
+    def test_yielding_non_event_fails_process(self):
+        eng = Engine()
+
+        def bad():
+            yield 42
+
+        p = eng.process(bad())
+        eng.run()
+        assert p.ok is False
+        assert isinstance(p.value, SimulationError)
+
+    def test_cross_engine_event_rejected(self):
+        eng1, eng2 = Engine(), Engine()
+
+        def bad():
+            yield eng2.timeout(1.0)
+
+        p = eng1.process(bad())
+        eng1.run()
+        assert p.ok is False
+
+    def test_interrupt_delivers_cause(self):
+        eng = Engine()
+        log = []
+
+        def victim():
+            try:
+                yield eng.timeout(100.0)
+            except Interrupt as i:
+                log.append(i.cause)
+
+        v = eng.process(victim())
+
+        def killer():
+            yield eng.timeout(1.0)
+            v.interrupt("cancelled")
+
+        eng.process(killer())
+        eng.run()
+        assert log == ["cancelled"]
+        assert eng.now == 100.0  # the abandoned timeout still drains
+
+    def test_interrupt_finished_process_is_noop(self):
+        eng = Engine()
+
+        def quick():
+            yield eng.timeout(0.5)
+
+        p = eng.process(quick())
+        eng.run()
+        p.interrupt("late")
+        eng.run()
+        assert p.ok is True
+
+    def test_interrupted_process_can_wait_again(self):
+        eng = Engine()
+
+        def victim():
+            try:
+                yield eng.timeout(100.0)
+            except Interrupt:
+                pass
+            yield eng.timeout(2.0)
+            return eng.now
+
+        v = eng.process(victim())
+
+        def killer():
+            yield eng.timeout(1.0)
+            v.interrupt()
+
+        eng.process(killer())
+        eng.run()
+        assert v.value == pytest.approx(3.0)
+
+    def test_non_generator_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.process(lambda: None)
+
+
+class TestConditions:
+    def test_all_of_waits_for_slowest(self):
+        eng = Engine()
+
+        def body():
+            t1 = eng.timeout(1.0, value="a")
+            t2 = eng.timeout(3.0, value="b")
+            results = yield AllOf(eng, [t1, t2])
+            return sorted(results.values())
+
+        p = eng.process(body())
+        eng.run()
+        assert p.value == ["a", "b"]
+        assert eng.now == 3.0
+
+    def test_any_of_fires_on_first(self):
+        eng = Engine()
+
+        def body():
+            t1 = eng.timeout(1.0, value="fast")
+            t2 = eng.timeout(3.0, value="slow")
+            results = yield AnyOf(eng, [t1, t2])
+            return (eng.now, list(results.values()))
+
+        p = eng.process(body())
+        eng.run()
+        assert p.value == (1.0, ["fast"])
+
+    def test_empty_all_of_fires_immediately(self):
+        eng = Engine()
+
+        def body():
+            yield AllOf(eng, [])
+            return eng.now
+
+        p = eng.process(body())
+        eng.run()
+        assert p.value == 0.0
+
+    def test_all_of_propagates_failure(self):
+        eng = Engine()
+
+        def failing_child():
+            yield eng.timeout(1.0)
+            raise KeyError("bad")
+
+        def body():
+            try:
+                yield AllOf(eng, [eng.timeout(5.0), eng.process(failing_child())])
+            except KeyError:
+                return "failed"
+
+        p = eng.process(body())
+        eng.run()
+        assert p.value == "failed"
+
+    def test_condition_rejects_foreign_events(self):
+        eng1, eng2 = Engine(), Engine()
+        with pytest.raises(SimulationError):
+            AllOf(eng1, [eng2.timeout(1.0)])

@@ -1,0 +1,240 @@
+"""Additional kernel coverage: engine introspection, condition edge cases,
+process/generator interplay, and determinism properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simul import (
+    AllOf,
+    AnyOf,
+    EmptySchedule,
+    Engine,
+    Event,
+    Interrupt,
+    SimulationError,
+    Store,
+)
+
+
+class TestEngineIntrospection:
+    def test_peek_empty(self):
+        assert Engine().peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self):
+        eng = Engine()
+        eng.timeout(3.0)
+        eng.timeout(1.0)
+        assert eng.peek() == 1.0
+
+    def test_schedule_at_past_rejected(self):
+        eng = Engine()
+        eng.timeout(5.0)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.schedule_at(1.0, lambda: None)
+
+    def test_active_process_visible_during_step(self):
+        eng = Engine()
+        seen = []
+
+        def body():
+            seen.append(eng.active_process)
+            yield eng.timeout(0.1)
+
+        p = eng.process(body())
+        eng.run()
+        assert seen == [p]
+        assert eng.active_process is None
+
+    def test_run_until_exactly_at_event_time(self):
+        eng = Engine()
+        fired = []
+        eng.schedule_at(2.0, lambda: fired.append(1))
+        eng.run(until=2.0)
+        assert fired == [1] and eng.now == 2.0
+
+
+class TestConditionEdgeCases:
+    def test_any_of_with_already_triggered_event(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed("early")
+        eng.run()
+
+        def body():
+            res = yield AnyOf(eng, [ev, eng.timeout(10.0)])
+            return list(res.values())
+
+        p = eng.process(body())
+        eng.run()
+        assert p.value == ["early"]
+
+    def test_all_of_mixed_timeouts_and_events(self):
+        eng = Engine()
+        ev = eng.event()
+
+        def trigger():
+            yield eng.timeout(1.0)
+            ev.succeed("x")
+
+        def body():
+            yield AllOf(eng, [ev, eng.timeout(2.0)])
+            return eng.now
+
+        eng.process(trigger())
+        p = eng.process(body())
+        eng.run()
+        assert p.value == 2.0
+
+    def test_nested_conditions(self):
+        eng = Engine()
+
+        def body():
+            inner = AnyOf(eng, [eng.timeout(1.0, "a"), eng.timeout(5.0, "b")])
+            yield AllOf(eng, [inner, eng.timeout(2.0, "c")])
+            return eng.now
+
+        p = eng.process(body())
+        eng.run()
+        assert p.value == 2.0
+
+    def test_condition_value_preserves_trigger_order(self):
+        eng = Engine()
+
+        def body():
+            t1 = eng.timeout(2.0, "slow")
+            t2 = eng.timeout(1.0, "fast")
+            res = yield AllOf(eng, [t1, t2])
+            return list(res.values())
+
+        p = eng.process(body())
+        eng.run()
+        assert p.value == ["fast", "slow"]
+
+
+class TestProcessEdgeCases:
+    def test_generator_returning_immediately(self):
+        eng = Engine()
+
+        def body():
+            return 42
+            yield  # pragma: no cover
+
+        p = eng.process(body())
+        eng.run()
+        assert p.value == 42
+
+    def test_exception_before_first_yield(self):
+        eng = Engine()
+
+        def body():
+            raise KeyError("early")
+            yield  # pragma: no cover
+
+        p = eng.process(body())
+        eng.run()
+        assert p.ok is False and isinstance(p.value, KeyError)
+
+    def test_interrupt_race_with_completion(self):
+        """Interrupt landing the same instant the victim finishes: no-op."""
+        eng = Engine()
+
+        def victim():
+            yield eng.timeout(1.0)
+            return "done"
+
+        v = eng.process(victim())
+
+        def killer():
+            yield eng.timeout(1.0)
+            v.interrupt("too late?")
+
+        eng.process(killer())
+        eng.run()
+        assert v.ok is True
+
+    def test_double_interrupt(self):
+        eng = Engine()
+        log = []
+
+        def victim():
+            for _ in range(2):
+                try:
+                    yield eng.timeout(100.0)
+                except Interrupt as i:
+                    log.append(i.cause)
+
+        v = eng.process(victim())
+
+        def killer():
+            yield eng.timeout(1.0)
+            v.interrupt("one")
+            yield eng.timeout(1.0)
+            v.interrupt("two")
+
+        eng.process(killer())
+        eng.run()
+        assert log == ["one", "two"]
+
+    def test_process_waiting_on_store_then_event(self):
+        eng = Engine()
+        store = Store(eng)
+        ev = eng.event()
+
+        def body():
+            item = yield store.get()
+            val = yield ev
+            return (item, val)
+
+        p = eng.process(body())
+
+        def driver():
+            yield eng.timeout(1.0)
+            store.put("a")
+            yield eng.timeout(1.0)
+            ev.succeed("b")
+
+        eng.process(driver())
+        eng.run()
+        assert p.value == ("a", "b")
+
+
+@given(st.lists(st.floats(0.001, 100.0), min_size=1, max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_prop_clock_is_monotone_over_random_timeouts(delays):
+    eng = Engine()
+    observed = []
+
+    def body():
+        for d in delays:
+            yield eng.timeout(d)
+            observed.append(eng.now)
+
+    eng.process(body())
+    eng.run()
+    assert observed == sorted(observed)
+    assert observed[-1] == pytest.approx(sum(delays), rel=1e-9)
+
+
+@given(st.integers(1, 30), st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_prop_fifo_store_preserves_order(n_items, seed):
+    eng = Engine()
+    store = Store(eng)
+    got = []
+
+    def consumer():
+        for _ in range(n_items):
+            got.append((yield store.get()))
+
+    eng.process(consumer())
+
+    def producer():
+        for i in range(n_items):
+            yield eng.timeout(0.001 * ((seed + i) % 7 + 1))
+            store.put(i)
+
+    eng.process(producer())
+    eng.run()
+    assert got == list(range(n_items))

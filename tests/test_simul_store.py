@@ -1,0 +1,198 @@
+"""Unit tests for Store / FilterStore mailboxes."""
+
+from repro.simul import Engine, FilterStore, Interrupt, Store
+
+
+def run_proc(eng, gen):
+    p = eng.process(gen)
+    eng.run()
+    assert p.ok is True, p.value
+    return p.value
+
+
+class TestStore:
+    def test_put_then_get(self):
+        eng = Engine()
+        store = Store(eng)
+        store.put("a")
+
+        def body():
+            return (yield store.get())
+
+        assert run_proc(eng, body()) == "a"
+
+    def test_get_blocks_until_put(self):
+        eng = Engine()
+        store = Store(eng)
+
+        def producer():
+            yield eng.timeout(2.0)
+            store.put("late")
+
+        def consumer():
+            item = yield store.get()
+            return (eng.now, item)
+
+        eng.process(producer())
+        p = eng.process(consumer())
+        eng.run()
+        assert p.value == (2.0, "late")
+
+    def test_fifo_ordering(self):
+        eng = Engine()
+        store = Store(eng)
+        for i in range(5):
+            store.put(i)
+
+        def body():
+            out = []
+            for _ in range(5):
+                out.append((yield store.get()))
+            return out
+
+        assert run_proc(eng, body()) == [0, 1, 2, 3, 4]
+
+    def test_multiple_waiters_served_in_order(self):
+        eng = Engine()
+        store = Store(eng)
+        results = {}
+
+        def waiter(name):
+            results[name] = yield store.get()
+
+        eng.process(waiter("first"))
+        eng.process(waiter("second"))
+
+        def producer():
+            yield eng.timeout(1.0)
+            store.put("x")
+            store.put("y")
+
+        eng.process(producer())
+        eng.run()
+        assert results == {"first": "x", "second": "y"}
+
+    def test_len_reflects_queued_items(self):
+        eng = Engine()
+        store = Store(eng)
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+    def test_cancelled_getter_does_not_consume(self):
+        eng = Engine()
+        store = Store(eng)
+        got = []
+
+        def victim():
+            try:
+                yield store.get()
+            except Interrupt:
+                got.append("interrupted")
+
+        def survivor():
+            got.append((yield store.get()))
+
+        v = eng.process(victim())
+        eng.process(survivor())
+
+        def driver():
+            yield eng.timeout(1.0)
+            v.interrupt()
+            yield eng.timeout(1.0)
+            store.put("item")
+
+        eng.process(driver())
+        eng.run()
+        assert got == ["interrupted", "item"]
+
+
+class TestFilterStore:
+    def test_filter_skips_non_matching(self):
+        eng = Engine()
+        store = FilterStore(eng)
+        store.put(("tagA", 1))
+        store.put(("tagB", 2))
+
+        def body():
+            item = yield store.get(lambda m: m[0] == "tagB")
+            return item
+
+        assert run_proc(eng, body()) == ("tagB", 2)
+        assert len(store) == 1  # tagA still queued
+
+    def test_unfiltered_get_takes_oldest(self):
+        eng = Engine()
+        store = FilterStore(eng)
+        store.put("old")
+        store.put("new")
+
+        def body():
+            return (yield store.get())
+
+        assert run_proc(eng, body()) == "old"
+
+    def test_blocked_filter_wakes_on_matching_put(self):
+        eng = Engine()
+        store = FilterStore(eng)
+
+        def consumer():
+            item = yield store.get(lambda m: m == "wanted")
+            return (eng.now, item)
+
+        p = eng.process(consumer())
+
+        def producer():
+            yield eng.timeout(1.0)
+            store.put("unwanted")
+            yield eng.timeout(1.0)
+            store.put("wanted")
+
+        eng.process(producer())
+        eng.run()
+        assert p.value == (2.0, "wanted")
+        assert len(store) == 1
+
+    def test_two_filters_match_independently(self):
+        eng = Engine()
+        store = FilterStore(eng)
+        results = {}
+
+        def consumer(name, want):
+            results[name] = yield store.get(lambda m, w=want: m == w)
+
+        eng.process(consumer("a", "apple"))
+        eng.process(consumer("b", "banana"))
+
+        def producer():
+            yield eng.timeout(1.0)
+            store.put("banana")
+            store.put("apple")
+
+        eng.process(producer())
+        eng.run()
+        assert results == {"a": "apple", "b": "banana"}
+
+    def test_filter_store_heavy_interleaving(self):
+        eng = Engine()
+        store = FilterStore(eng)
+        received = []
+
+        def consumer(tag):
+            for _ in range(3):
+                item = yield store.get(lambda m, t=tag: m[0] == t)
+                received.append(item)
+
+        eng.process(consumer("x"))
+        eng.process(consumer("y"))
+
+        def producer():
+            for i in range(3):
+                yield eng.timeout(1.0)
+                store.put(("y", i))
+                store.put(("x", i))
+
+        eng.process(producer())
+        eng.run()
+        assert sorted(received) == [("x", 0), ("x", 1), ("x", 2), ("y", 0), ("y", 1), ("y", 2)]

@@ -1,0 +1,87 @@
+"""Tests for SparseVector.combine — the generalized union-combine kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import SparseVector
+
+
+def sv(keys, values):
+    return SparseVector(
+        np.asarray(keys, dtype=np.uint64), np.asarray(values, dtype=np.float64)
+    )
+
+
+class TestCombine:
+    def test_min_combine(self):
+        a = sv([1, 3], [5.0, 1.0])
+        b = sv([3, 7], [0.5, 9.0])
+        c = a.combine(b, np.minimum, np.inf)
+        assert c.keys.tolist() == [1, 3, 7]
+        assert c.values.tolist() == [5.0, 0.5, 9.0]
+
+    def test_max_combine(self):
+        a = sv([1, 3], [5.0, 1.0])
+        b = sv([3, 7], [0.5, 9.0])
+        c = a.combine(b, np.maximum, -np.inf)
+        assert c.values.tolist() == [5.0, 1.0, 9.0]
+
+    def test_or_combine_uint(self):
+        a = SparseVector(np.array([1, 2], np.uint64), np.array([0b01, 0b10], np.uint64))
+        b = SparseVector(np.array([2, 3], np.uint64), np.array([0b01, 0b100], np.uint64))
+        c = a.combine(b, np.bitwise_or, np.uint64(0))
+        assert c.values.tolist() == [0b01, 0b11, 0b100]
+
+    def test_combine_with_empty(self):
+        a = sv([4], [2.0])
+        c = a.combine(SparseVector.empty(), np.minimum, np.inf)
+        assert c == a
+
+    def test_add_is_combine_with_zero(self):
+        a = sv([1, 2], [1.0, 2.0])
+        b = sv([2, 5], [10.0, 20.0])
+        assert (a + b) == a.combine(b, np.add, 0)
+
+    def test_shape_mismatch_rejected(self):
+        a = sv([1], [1.0])
+        b = SparseVector(np.array([1], np.uint64), np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            a.combine(b, np.add, 0)
+
+    def test_multidim_rows(self):
+        a = SparseVector(np.array([1], np.uint64), np.array([[1.0, 5.0]]))
+        b = SparseVector(np.array([1], np.uint64), np.array([[3.0, 2.0]]))
+        c = a.combine(b, np.minimum, np.inf)
+        assert c.values.tolist() == [[1.0, 2.0]]
+
+
+@st.composite
+def vec(draw):
+    pairs = draw(st.dictionaries(st.integers(0, 50), st.floats(-100, 100), max_size=20))
+    keys = np.array(sorted(pairs), dtype=np.uint64)
+    vals = np.array([pairs[k] for k in sorted(pairs)])
+    return SparseVector(keys, vals)
+
+
+@given(vec(), vec())
+@settings(max_examples=40)
+def test_prop_combine_min_matches_dense(a, b):
+    c = a.combine(b, np.minimum, np.inf)
+    da = a.to_dense(51)
+    db = b.to_dense(51)
+    da[np.setdiff1d(np.arange(51), a.keys.astype(np.int64))] = np.inf
+    db[np.setdiff1d(np.arange(51), b.keys.astype(np.int64))] = np.inf
+    expect = np.minimum(da, db)
+    for k, v in c.items():
+        assert v == expect[k]
+
+
+@given(vec(), vec(), vec())
+@settings(max_examples=25)
+def test_prop_combine_associative_for_min(a, b, c):
+    lhs = a.combine(b, np.minimum, np.inf).combine(c, np.minimum, np.inf)
+    rhs = a.combine(b.combine(c, np.minimum, np.inf), np.minimum, np.inf)
+    assert np.array_equal(lhs.keys, rhs.keys)
+    np.testing.assert_array_equal(lhs.values, rhs.values)

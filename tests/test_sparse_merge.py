@@ -1,0 +1,135 @@
+"""Unit and property tests for merge strategies and position maps."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    hash_merge,
+    merge_two,
+    pairwise_merge,
+    position_maps,
+    tree_merge,
+    union_with_maps,
+)
+
+
+def arr(xs):
+    return np.array(sorted(set(xs)), dtype=np.uint64)
+
+
+class TestMergeTwo:
+    def test_disjoint(self):
+        assert merge_two(arr([1, 3]), arr([2, 4])).tolist() == [1, 2, 3, 4]
+
+    def test_overlap_deduplicated(self):
+        assert merge_two(arr([1, 2, 3]), arr([2, 3, 4])).tolist() == [1, 2, 3, 4]
+
+    def test_empty_sides(self):
+        a = arr([1, 2])
+        assert merge_two(a, arr([])).tolist() == [1, 2]
+        assert merge_two(arr([]), a).tolist() == [1, 2]
+        assert merge_two(arr([]), arr([])).size == 0
+
+    def test_identical(self):
+        a = arr([5, 6, 7])
+        assert merge_two(a, a).tolist() == [5, 6, 7]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            merge_two(np.zeros((2, 2), dtype=np.uint64), arr([1]))
+
+
+class TestStrategiesAgree:
+    CASES = [
+        [],
+        [[]],
+        [[1, 2, 3]],
+        [[1, 2], [2, 3], [3, 4]],
+        [[10], [5], [1], [7], [3]],
+        [list(range(0, 100, 2)), list(range(1, 100, 2))],
+        [[1, 2, 3], [], [2, 3, 4], []],
+    ]
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_all_strategies_equal(self, case):
+        sets = [arr(c) for c in case]
+        expect = sorted(set().union(*[set(c) for c in case])) if case else []
+        for strategy in (hash_merge, pairwise_merge, tree_merge):
+            assert strategy(sets).tolist() == expect, strategy.__name__
+
+    def test_tree_merge_odd_count(self):
+        sets = [arr([i]) for i in range(7)]
+        assert tree_merge(sets).tolist() == list(range(7))
+
+    def test_tree_merge_single(self):
+        assert tree_merge([arr([1, 9])]).tolist() == [1, 9]
+
+
+class TestPositionMaps:
+    def test_maps_recover_sets(self):
+        sets = [arr([1, 5, 9]), arr([2, 5, 8]), arr([1, 8])]
+        union, maps = union_with_maps(sets)
+        for s, m in zip(sets, maps):
+            np.testing.assert_array_equal(union[m], s)
+
+    def test_maps_enable_scatter_add(self):
+        sets = [arr([1, 5]), arr([5, 9])]
+        union, maps = union_with_maps(sets)
+        total = np.zeros(union.size)
+        np.add.at(total, maps[0], np.array([1.0, 2.0]))
+        np.add.at(total, maps[1], np.array([10.0, 20.0]))
+        # union = [1, 5, 9]; key 5 got 2 + 10.
+        assert total.tolist() == [1.0, 12.0, 20.0]
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ValueError):
+            position_maps(arr([1, 2]), [arr([3])])
+
+    def test_empty_set_ok(self):
+        maps = position_maps(arr([1, 2]), [arr([])])
+        assert maps[0].size == 0
+
+    def test_map_dtype_is_intp(self):
+        _, maps = union_with_maps([arr([1, 2, 3])])
+        assert maps[0].dtype == np.intp
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+key_sets = st.lists(
+    st.lists(st.integers(0, 10_000), max_size=50).map(arr), max_size=8
+)
+
+
+@given(key_sets)
+def test_prop_strategies_agree(sets):
+    expected = pairwise_merge(sets)
+    np.testing.assert_array_equal(tree_merge(sets), expected)
+    np.testing.assert_array_equal(hash_merge(sets), expected)
+
+
+@given(key_sets)
+def test_prop_union_contains_every_element(sets):
+    union, maps = union_with_maps(sets)
+    assert union.size == len(set().union(*[set(s.tolist()) for s in sets])) if sets else union.size == 0
+    for s, m in zip(sets, maps):
+        np.testing.assert_array_equal(union[m], s)
+
+
+@given(key_sets)
+def test_prop_union_sorted_unique(sets):
+    union = tree_merge(sets)
+    if union.size > 1:
+        assert np.all(union[1:] > union[:-1])
+
+
+@given(st.lists(st.integers(0, 2**64 - 1), max_size=40))
+def test_prop_full_64bit_domain(keys):
+    """Merges must be correct over the whole uint64 ring (hashed keys)."""
+    a = arr(keys)
+    union = merge_two(a, a)
+    np.testing.assert_array_equal(union, a)

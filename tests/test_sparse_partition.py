@@ -1,0 +1,176 @@
+"""Unit and property tests for key ranges, splits, and hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    IdentityHasher,
+    KeyRange,
+    MultiplicativeHasher,
+    split_sorted,
+)
+
+
+class TestKeyRange:
+    def test_full_range(self):
+        r = KeyRange.full()
+        assert r.lo == 0 and r.hi == 1 << 64
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            KeyRange(5, 5)
+        with pytest.raises(ValueError):
+            KeyRange(-1, 5)
+        with pytest.raises(ValueError):
+            KeyRange(0, (1 << 64) + 1)
+
+    def test_boundaries_cover_exactly(self):
+        r = KeyRange(0, 100)
+        b = r.boundaries(3)
+        assert b[0] == 0 and b[-1] == 100
+        assert b == sorted(b)
+
+    def test_subrange_nesting(self):
+        r = KeyRange.full()
+        child = r.subrange(2, 4)
+        grandchild = child.subrange(1, 2)
+        assert r.lo <= child.lo < child.hi <= r.hi
+        assert child.lo <= grandchild.lo < grandchild.hi <= child.hi
+
+    def test_subranges_partition_parent(self):
+        r = KeyRange(0, 1000)
+        subs = [r.subrange(q, 7) for q in range(7)]
+        assert subs[0].lo == r.lo and subs[-1].hi == r.hi
+        for a, b in zip(subs, subs[1:]):
+            assert a.hi == b.lo
+
+    def test_subrange_index_validated(self):
+        with pytest.raises(ValueError):
+            KeyRange(0, 10).subrange(3, 3)
+
+    def test_contains(self):
+        r = KeyRange(10, 20)
+        keys = np.array([9, 10, 19, 20], dtype=np.uint64)
+        assert r.contains(keys).tolist() == [False, True, True, False]
+
+    def test_owner_of(self):
+        r = KeyRange(0, 100)
+        keys = np.array([0, 24, 25, 99], dtype=np.uint64)
+        assert r.owner_of(keys, 4).tolist() == [0, 0, 1, 3]
+
+    def test_owner_of_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            KeyRange(0, 10).owner_of(np.array([50], dtype=np.uint64), 2)
+
+
+class TestSplitSorted:
+    def test_split_reassembles(self):
+        keys = np.array([3, 10, 55, 60, 90], dtype=np.uint64)
+        slices = split_sorted(keys, KeyRange(0, 100), 4)
+        parts = [keys[s] for s in slices]
+        np.testing.assert_array_equal(np.concatenate(parts), keys)
+
+    def test_split_respects_boundaries(self):
+        keys = np.arange(100, dtype=np.uint64)
+        rng = KeyRange(0, 100)
+        slices = split_sorted(keys, rng, 4)
+        for q, s in enumerate(slices):
+            sub = rng.subrange(q, 4)
+            part = keys[s]
+            assert bool(sub.contains(part).all())
+
+    def test_empty_parts_allowed(self):
+        keys = np.array([99], dtype=np.uint64)
+        slices = split_sorted(keys, KeyRange(0, 100), 4)
+        sizes = [s.stop - s.start for s in slices]
+        assert sizes == [0, 0, 0, 1]
+
+    def test_out_of_range_keys_rejected(self):
+        keys = np.array([150], dtype=np.uint64)
+        with pytest.raises(ValueError):
+            split_sorted(keys, KeyRange(0, 100), 2)
+
+    def test_full_64bit_range(self):
+        keys = np.array([0, 2**32, 2**63, 2**64 - 1], dtype=np.uint64)
+        slices = split_sorted(keys, KeyRange.full(), 2)
+        assert keys[slices[0]].tolist() == [0, 2**32]
+        assert keys[slices[1]].tolist() == [2**63, 2**64 - 1]
+
+
+class TestHashers:
+    def test_multiplicative_roundtrip(self):
+        h = MultiplicativeHasher()
+        idx = np.arange(1000, dtype=np.int64)
+        np.testing.assert_array_equal(h.unhash(h.hash(idx)), idx)
+
+    def test_multiplicative_is_injective_on_sample(self):
+        h = MultiplicativeHasher()
+        keys = h.hash(np.arange(100_000, dtype=np.int64))
+        assert np.unique(keys).size == 100_000
+
+    def test_multiplicative_spreads_head_indices(self):
+        """Consecutive (power-law head) indices must spread across ranges."""
+        h = MultiplicativeHasher()
+        keys = h.hash(np.arange(1024, dtype=np.int64))
+        owners = KeyRange.full().owner_of(np.sort(keys), 8)
+        counts = np.bincount(owners, minlength=8)
+        # Balanced to within 3x of ideal on the head block.
+        assert counts.min() > 1024 // 8 // 3
+
+    def test_even_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            MultiplicativeHasher(multiplier=2)
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(ValueError):
+            MultiplicativeHasher().hash(np.array([-1]))
+
+    def test_identity_hasher_bounds(self):
+        h = IdentityHasher(100)
+        np.testing.assert_array_equal(
+            h.hash(np.array([0, 99])), np.array([0, 99], dtype=np.uint64)
+        )
+        with pytest.raises(ValueError):
+            h.hash(np.array([100]))
+
+    def test_identity_key_space(self):
+        assert IdentityHasher(64).key_space == 64
+        with pytest.raises(ValueError):
+            IdentityHasher(0)
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(0, 2**64 - 1), max_size=100),
+    st.integers(1, 16),
+)
+def test_prop_split_is_partition(raw_keys, parts):
+    keys = np.array(sorted(set(raw_keys)), dtype=np.uint64)
+    rng = KeyRange.full()
+    slices = split_sorted(keys, rng, parts)
+    rebuilt = np.concatenate([keys[s] for s in slices]) if parts else keys
+    np.testing.assert_array_equal(rebuilt, keys)
+    for q, s in enumerate(slices):
+        sub = rng.subrange(q, parts)
+        assert bool(sub.contains(keys[s]).all())
+
+
+@given(st.lists(st.integers(0, 2**40), max_size=200))
+def test_prop_hash_roundtrip(indices):
+    h = MultiplicativeHasher()
+    idx = np.array(indices, dtype=np.int64)
+    np.testing.assert_array_equal(h.unhash(h.hash(idx)), idx)
+
+
+@given(st.integers(1, 1 << 64), st.integers(1, 64))
+def test_prop_boundaries_monotone(extent, parts):
+    rng = KeyRange(0, extent)
+    b = rng.boundaries(parts)
+    assert b[0] == 0 and b[-1] == extent
+    assert all(x <= y for x, y in zip(b, b[1:]))

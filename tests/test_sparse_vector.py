@@ -1,0 +1,206 @@
+"""Unit and property tests for SparseVector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import SparseVector
+
+
+def sv(keys, values=None):
+    keys = np.asarray(keys, dtype=np.uint64)
+    if values is None:
+        values = np.ones(len(keys))
+    return SparseVector(keys, np.asarray(values, dtype=np.float64))
+
+
+class TestConstruction:
+    def test_basic(self):
+        v = sv([1, 5, 9], [1.0, 2.0, 3.0])
+        assert v.nnz == 3
+        assert v.get(5) == 2.0
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            sv([5, 1], [1.0, 2.0])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            sv([3, 3], [1.0, 2.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            SparseVector(np.array([1, 2], dtype=np.uint64), np.zeros(3))
+
+    def test_rejects_2d_keys(self):
+        with pytest.raises(ValueError):
+            SparseVector(np.zeros((2, 2), dtype=np.uint64), np.zeros(2))
+
+    def test_empty(self):
+        v = SparseVector.empty()
+        assert v.nnz == 0 and len(v) == 0
+
+    def test_from_unsorted_sums_duplicates(self):
+        v = SparseVector.from_unsorted(
+            np.array([7, 2, 7, 2, 5], dtype=np.uint64),
+            np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+        )
+        assert v.keys.tolist() == [2, 5, 7]
+        assert v.values.tolist() == [6.0, 5.0, 4.0]
+
+    def test_from_dense_roundtrip(self):
+        dense = np.array([0.0, 3.0, 0.0, 0.0, 7.0])
+        v = SparseVector.from_dense(dense)
+        assert v.keys.tolist() == [1, 4]
+        np.testing.assert_array_equal(v.to_dense(5), dense)
+
+    def test_from_dense_multidim_values(self):
+        dense = np.array([[0, 0], [1, 2], [0, 0], [3, 0]], dtype=np.float64)
+        v = SparseVector.from_dense(dense)
+        assert v.keys.tolist() == [1, 3]
+        np.testing.assert_array_equal(v.to_dense(4), dense)
+
+    def test_matrix_valued_rows(self):
+        keys = np.array([0, 9], dtype=np.uint64)
+        vals = np.arange(8, dtype=np.float64).reshape(2, 4)
+        v = SparseVector(keys, vals)
+        assert v.values.shape == (2, 4)
+        w = v + v
+        np.testing.assert_array_equal(w.values, 2 * vals)
+
+
+class TestAlgebra:
+    def test_add_disjoint(self):
+        a, b = sv([1, 2], [1, 1]), sv([3, 4], [2, 2])
+        c = a + b
+        assert c.keys.tolist() == [1, 2, 3, 4]
+        assert c.values.tolist() == [1, 1, 2, 2]
+
+    def test_add_overlapping(self):
+        a, b = sv([1, 2, 3], [1, 1, 1]), sv([2, 3, 4], [10, 10, 10])
+        c = a + b
+        assert c.keys.tolist() == [1, 2, 3, 4]
+        assert c.values.tolist() == [1, 11, 11, 10]
+
+    def test_add_with_empty(self):
+        a = sv([1, 2], [5, 6])
+        c = a + SparseVector.empty()
+        assert c == a
+
+    def test_add_shape_mismatch_rejected(self):
+        a = sv([1], [1.0])
+        b = SparseVector(np.array([1], dtype=np.uint64), np.ones((1, 3)))
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_scale(self):
+        v = sv([1, 2], [2.0, 4.0]).scale(0.5)
+        assert v.values.tolist() == [1.0, 2.0]
+
+    def test_sum(self):
+        assert sv([1, 2, 3], [1.0, 2.0, 3.0]).sum() == 6.0
+
+
+class TestRestrict:
+    def test_restrict_subset(self):
+        v = sv([1, 3, 5, 7], [1, 3, 5, 7])
+        r = v.restrict(np.array([3, 7], dtype=np.uint64))
+        assert r.keys.tolist() == [3, 7]
+        assert r.values.tolist() == [3, 7]
+
+    def test_restrict_missing_keys_zero_filled(self):
+        v = sv([1, 5], [10, 50])
+        r = v.restrict(np.array([0, 1, 2, 5, 9], dtype=np.uint64))
+        assert r.values.tolist() == [0, 10, 0, 50, 0]
+
+    def test_restrict_beyond_last_key(self):
+        v = sv([1], [1.0])
+        r = v.restrict(np.array([2, 3], dtype=np.uint64))
+        assert r.values.tolist() == [0.0, 0.0]
+
+    def test_restrict_empty_vector(self):
+        r = SparseVector.empty().restrict(np.array([1, 2], dtype=np.uint64))
+        assert r.values.tolist() == [0.0, 0.0]
+
+    def test_get_default(self):
+        assert sv([1], [1.0]).get(99, default="missing") == "missing"
+
+    def test_slice_range(self):
+        v = sv([1, 3, 5, 7], [1, 3, 5, 7])
+        s = v.slice_range(3, 7)
+        assert s.keys.tolist() == [3, 5]
+
+    def test_slice_full_64bit_range(self):
+        v = sv([0, 2**63], [1.0, 2.0])
+        s = v.slice_range(0, 1 << 64)
+        assert s.nnz == 2
+
+
+class TestConversion:
+    def test_to_dense_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            sv([10], [1.0]).to_dense(5)
+
+    def test_nbytes_counts_keys_and_values(self):
+        v = sv([1, 2, 3], [1.0, 2.0, 3.0])
+        assert v.nbytes == 3 * 8 + 3 * 8
+
+    def test_items(self):
+        assert list(sv([2, 4], [1.0, 2.0]).items()) == [(2, 1.0), (4, 2.0)]
+
+    def test_equality(self):
+        assert sv([1, 2], [1, 2]) == sv([1, 2], [1, 2])
+        assert sv([1, 2], [1, 2]) != sv([1, 3], [1, 2])
+        assert sv([1], [1.0]) != "not a vector"
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+keys_values = st.lists(
+    st.tuples(st.integers(0, 1000), st.floats(-1e6, 1e6)), max_size=60
+)
+
+
+@st.composite
+def sparse_vectors(draw):
+    pairs = draw(keys_values)
+    ks = np.array([p[0] for p in pairs], dtype=np.uint64)
+    vs = np.array([p[1] for p in pairs], dtype=np.float64)
+    return SparseVector.from_unsorted(ks, vs)
+
+
+@given(sparse_vectors())
+def test_prop_keys_sorted_unique(v):
+    assert np.all(np.diff(v.keys.astype(np.int64)) > 0) if v.nnz > 1 else True
+
+
+@given(sparse_vectors(), sparse_vectors())
+def test_prop_add_matches_dense(a, b):
+    n = 1001
+    np.testing.assert_allclose((a + b).to_dense(n), a.to_dense(n) + b.to_dense(n))
+
+
+@given(sparse_vectors(), sparse_vectors())
+def test_prop_add_commutative(a, b):
+    lhs, rhs = a + b, b + a
+    assert np.array_equal(lhs.keys, rhs.keys)
+    np.testing.assert_allclose(lhs.values, rhs.values)
+
+
+@given(sparse_vectors())
+@settings(max_examples=30)
+def test_prop_dense_roundtrip(v):
+    # from_dense drops exact zeros, so compare densified forms.
+    d = v.to_dense(1001)
+    np.testing.assert_array_equal(SparseVector.from_dense(d).to_dense(1001), d)
+
+
+@given(sparse_vectors(), st.lists(st.integers(0, 1000), max_size=30))
+def test_prop_restrict_matches_dense_lookup(v, wanted):
+    wanted = np.unique(np.asarray(wanted, dtype=np.uint64))
+    r = v.restrict(wanted)
+    d = v.to_dense(1001)
+    np.testing.assert_array_equal(r.values, d[wanted.astype(np.intp)])
