@@ -12,7 +12,9 @@ Public API re-exports the pieces a downstream user touches most:
 Subpackages: ``repro.simul`` (event engine), ``repro.netmodel`` (fabric
 cost model), ``repro.cluster``, ``repro.sparse``, ``repro.allreduce``,
 ``repro.design``, ``repro.data``, ``repro.apps``, ``repro.baselines``,
-``repro.bench``, and ``repro.net`` (real-process execution backend).
+``repro.bench``, ``repro.net`` (real-process execution backend), and
+``repro.verify`` (static protocol-invariant checker + custom AST lint;
+``python -m repro verify`` / ``python -m repro lint``).
 """
 
 from .allreduce import (
@@ -30,6 +32,7 @@ from .cluster import Cluster, FailurePlan
 from .design import EmpiricalDensityCurve, PowerLawModel, optimal_degrees
 from .netmodel import EC2_LIKE, NetworkParams
 from .sparse import SparseVector
+from .verify.errors import ProtocolInvariantError
 
 __version__ = "1.0.0"
 
@@ -44,6 +47,7 @@ __all__ = [
     "DenseAllreduce",
     "ReplicatedKylix",
     "CoverageError",
+    "ProtocolInvariantError",
     "dense_reduce",
     "PowerLawModel",
     "EmpiricalDensityCurve",

@@ -9,6 +9,13 @@ Commands
     A 30-second tour: one sparse allreduce with a traffic report.
 ``info``
     Version, calibration constants, and the reproduced-results summary.
+``verify [--stacks 8,16,64] [--n N] [--seed S]``
+    Statically check every protocol invariant (range tiling, slice
+    covers, injective maps, nesting) over the degree stacks of the given
+    cluster sizes.  Exit 1 on any violation.
+``lint [paths...]``
+    Run the repo-specific AST lint over the ``repro`` package (or the
+    given files/directories).  Exit 1 on any finding.
 """
 
 from __future__ import annotations
@@ -16,6 +23,8 @@ from __future__ import annotations
 import sys
 
 import numpy as np
+
+__all__ = ["main"]
 
 
 def _demo() -> int:
@@ -64,6 +73,68 @@ def _info() -> int:
     return 0
 
 
+def _verify(args: list[str]) -> int:
+    import argparse
+
+    from .verify import format_report, verify_sizes
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro verify",
+        description="statically check Kylix protocol invariants",
+    )
+    parser.add_argument(
+        "--stacks",
+        default="8,16,64",
+        help="comma-separated cluster sizes to sweep (default: 8,16,64)",
+    )
+    parser.add_argument("--n", type=int, default=512, help="synthetic feature count")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    opts = parser.parse_args(args)
+    try:
+        sizes = [int(s) for s in opts.stacks.split(",") if s]
+    except ValueError:
+        parser.error(f"--stacks must be comma-separated integers, got {opts.stacks!r}")
+    if not sizes or any(s < 1 for s in sizes):
+        parser.error(f"--stacks needs at least one positive size, got {opts.stacks!r}")
+
+    report = verify_sizes(sizes, n=opts.n, seed=opts.seed)
+    bad = 0
+    for key, violations in report.items():
+        if violations:
+            bad += len(violations)
+            print(f"FAIL {key}")
+            print("  " + format_report(violations).replace("\n", "\n  "))
+        else:
+            print(f"ok   {key}")
+    total = len(report)
+    if bad:
+        print(f"\n{bad} invariant violation(s) across {total} stacks")
+        return 1
+    print(f"\nall invariants hold across {total} (size, stack) combinations")
+    return 0
+
+
+def _lint(args: list[str]) -> int:
+    from .verify import all_rules, lint_paths
+
+    if any(a.startswith("-") for a in args):
+        print("usage: python -m repro lint [path ...]   (default: the repro package)")
+        return 0 if any(a in ("-h", "--help") for a in args) else 2
+    try:
+        findings = lint_paths(args or None)
+    except OSError as exc:
+        print(f"lint: cannot read {exc.filename or exc}: {exc.strerror or 'error'}")
+        return 2
+    for f in findings:
+        print(f)
+    rules = ", ".join(r.name for r in all_rules())
+    if findings:
+        print(f"\n{len(findings)} finding(s)  [rules: {rules}]")
+        return 1
+    print(f"lint clean  [rules: {rules}]")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
@@ -77,7 +148,11 @@ def main(argv: list[str]) -> int:
         return _demo()
     if cmd == "info":
         return _info()
-    print(f"unknown command {cmd!r}; try: experiments, demo, info")
+    if cmd == "verify":
+        return _verify(rest)
+    if cmd == "lint":
+        return _lint(rest)
+    print(f"unknown command {cmd!r}; try: experiments, demo, info, verify, lint")
     return 2
 
 

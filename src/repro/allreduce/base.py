@@ -20,6 +20,8 @@ from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
+from ..verify.errors import ProtocolInvariantError
+
 __all__ = [
     "ReduceSpec",
     "CoverageError",
@@ -71,11 +73,14 @@ def reduction_identity(op: str, dtype: np.dtype):
     raise ValueError(f"unknown reduction op {op!r}")
 
 
-class CoverageError(ValueError):
+class CoverageError(ProtocolInvariantError, ValueError):
     """Raised when some requested *in* index has no contributor.
 
     The paper requires ``∪ in_i ⊆ ∪ out_i`` — "there will be some input
-    nodes with no data to draw from" otherwise.
+    nodes with no data to draw from" otherwise.  Subclasses both
+    :class:`ProtocolInvariantError` (it is a protocol-invariant failure,
+    catchable alongside the static checker's) and ``ValueError`` (the
+    historical base, kept for existing callers).
     """
 
 

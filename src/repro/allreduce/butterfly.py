@@ -13,6 +13,7 @@ from typing import Optional
 
 from ..cluster import Cluster
 from ..sparse import IndexHasher
+from ..verify.errors import ProtocolInvariantError
 from .kylix import KylixAllreduce
 
 __all__ = ["BinaryButterflyAllreduce", "binary_degrees", "uniform_degrees"]
@@ -44,7 +45,11 @@ def uniform_degrees(num_nodes: int, degree: int) -> list[int]:
         degrees.append(degree)
         m //= degree
     out = degrees or [1]
-    assert prod(out) == num_nodes
+    if prod(out) != num_nodes:
+        raise ProtocolInvariantError(
+            f"degree stack {out} does not factor cluster size {num_nodes}",
+            invariant="degree-product",
+        )
     return out
 
 

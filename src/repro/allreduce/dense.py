@@ -63,7 +63,7 @@ class DenseAllreduce:
                 part = v[bounds[q] - lo : bounds[q + 1] - lo]
                 node.send(member, part, tag=tag, phase=PHASE_DENSE_DOWN, layer=layer)
             mypos = topo.position(rank, layer)
-            acc = np.zeros(bounds[mypos + 1] - bounds[mypos])
+            acc = np.zeros(bounds[mypos + 1] - bounds[mypos], dtype=np.float64)
             nbytes = 0
             for _ in range(d):
                 msg = yield node.recv(tag=tag)
@@ -79,7 +79,7 @@ class DenseAllreduce:
             tag = ("dense", "up", inst, layer)
             for member in group:
                 node.send(member, v, tag=tag, phase=PHASE_DENSE_UP, layer=layer)
-            full = np.zeros(bounds[-1] - bounds[0])
+            full = np.zeros(bounds[-1] - bounds[0], dtype=np.float64)
             nbytes = 0
             for _ in range(len(group)):
                 msg = yield node.recv(tag=tag)

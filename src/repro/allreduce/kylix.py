@@ -468,6 +468,26 @@ class KylixAllreduce:
         return plan, r[plan.in_inverse]
 
     # ------------------------------------------------------------------
+    def verify_plans(self) -> None:
+        """Statically check every protocol invariant of the current plans.
+
+        Must be called after :meth:`configure`; raises
+        :class:`~repro.verify.errors.ProtocolInvariantError` listing every
+        violated invariant (see ``docs/verify.md`` for the catalogue).
+        Costs one synchronous sweep over the memoised state — no
+        simulated traffic.
+        """
+        if not self.plans:
+            raise RuntimeError("configure() must run before verify_plans()")
+        from ..verify.invariants import assert_valid
+
+        logical = {}
+        for rank, plan in self.plans.items():
+            lr = self._logical(rank)
+            logical.setdefault(lr, plan)
+        assert_valid(self.topology, logical)
+
+    # ------------------------------------------------------------------
     def allreduce(
         self, spec: ReduceSpec, out_values: Mapping[int, np.ndarray]
     ) -> Dict[int, np.ndarray]:

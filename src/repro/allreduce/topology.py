@@ -106,6 +106,22 @@ class ButterflyTopology:
         return rng
 
     # -- sanity ------------------------------------------------------------
+    def self_check(self) -> None:
+        """Verify tiling, nesting and group symmetry for this topology.
+
+        Raises :class:`~repro.verify.errors.ProtocolInvariantError` with
+        the full violation report.  O(m · l · d) — cheap enough to call
+        from tests and the ``python -m repro verify`` sweep.
+        """
+        from ..verify.errors import ProtocolInvariantError
+        from ..verify.invariants import check_topology, format_report
+
+        violations = check_topology(self)
+        if violations:
+            raise ProtocolInvariantError(
+                format_report(violations), invariant=violations[0].invariant
+            )
+
     def _check(self, node: int, layer: int) -> None:
         if not 0 <= node < self.num_nodes:
             raise ValueError(f"node {node} out of range")

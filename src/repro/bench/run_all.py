@@ -32,6 +32,8 @@ from .experiments import (
     run_table1,
 )
 
+__all__ = ["main"]
+
 
 def _show(result):
     print(result.table())

@@ -45,6 +45,14 @@ class Cluster:
         Optional :class:`FailurePlan`; dead nodes drop all traffic.
     seed:
         Seeds latency jitter; identical seeds give identical runs.
+    creation_order:
+        Optional permutation of ``range(num_nodes)`` controlling the
+        order :meth:`run` spawns node processes in.  Protocol *results*
+        must be invariant to it — the schedule-perturbation determinism
+        tests shuffle it to catch hidden order dependence.
+    record_trace:
+        When True the engine records ``(time, seq, event)`` for every
+        processed event (see :attr:`repro.simul.Engine.trace`).
     """
 
     def __init__(
@@ -58,6 +66,8 @@ class Cluster:
         node_speeds: Optional[Sequence[float]] = None,
         failures: Optional[FailurePlan] = None,
         seed: int = 0,
+        creation_order: Optional[Sequence[int]] = None,
+        record_trace: bool = False,
     ):
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
@@ -69,10 +79,15 @@ class Cluster:
                 raise ValueError("need one speed per node")
             if any(x <= 0 for x in node_speeds):
                 raise ValueError("node speeds must be positive")
+        if creation_order is not None:
+            creation_order = [int(r) for r in creation_order]
+            if sorted(creation_order) != list(range(num_nodes)):
+                raise ValueError("creation_order must permute range(num_nodes)")
         self.num_nodes = num_nodes
         self.params = params
         self.compute_rate = compute_rate
-        self.engine = Engine()
+        self.creation_order = creation_order
+        self.engine = Engine(record_trace=record_trace)
         self.stats = TrafficStats()
         self.failures = failures or FailurePlan.none()
         self.fabric = Fabric(
@@ -138,7 +153,12 @@ class Cluster:
         waiting forever for a dead node raises a deadlock error unless the
         protocol (e.g. replicated Kylix) tolerates it.
         """
-        participants = list(nodes) if nodes is not None else self.live_nodes
+        if nodes is not None:
+            participants = list(nodes)
+        elif self.creation_order is not None:
+            participants = [r for r in self.creation_order if self.is_alive(r)]
+        else:
+            participants = self.live_nodes
         procs = {
             rank: self.engine.process(protocol(self._nodes[rank], *args, **kwargs))
             for rank in participants

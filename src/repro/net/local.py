@@ -33,6 +33,7 @@ from ..sparse import (
     split_sorted,
     union_with_maps,
 )
+from ..verify.errors import ProtocolInvariantError
 
 __all__ = ["LocalKylix"]
 
@@ -109,7 +110,13 @@ def _worker(
                     conn = conns[member]
                     if conn.poll(0.005):
                         kind, lyr, part = conn.recv()
-                        assert kind == "down" and lyr == layer
+                        if kind != "down" or lyr != layer:
+                            raise ProtocolInvariantError(
+                                f"rank {rank}: expected down-pass message for "
+                                f"layer {layer}, got {kind!r} layer {lyr} — "
+                                "per-connection message order violated",
+                                invariant="message-order",
+                            )
                         payloads[part[0]] = part
                         received.add(member)
                         if len(payloads) == d:
@@ -174,7 +181,12 @@ def _worker(
                     conn = conns[member]
                     if conn.poll(0.005):
                         kind, my_q, (sender_pos, vals_part) = conn.recv()
-                        assert kind == "up"
+                        if kind != "up":
+                            raise ProtocolInvariantError(
+                                f"rank {rank}: expected up-pass message, got "
+                                f"{kind!r} — down pass not drained",
+                                invariant="message-order",
+                            )
                         out[in_slices[sender_pos]] = vals_part
                         received_up.add(member)
                         if len(received_up) == d:

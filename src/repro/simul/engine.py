@@ -34,14 +34,20 @@ class Engine:
 
         proc = eng.process(worker(eng))
         eng.run()
-        assert eng.now == 1.5 and proc.value == "done"
+        # now eng.now == 1.5 and proc.value == "done"
+
+    With ``record_trace=True`` every processed event is appended to
+    :attr:`trace` as ``(time, seq, event-class-name)``.  Two runs of the
+    same seeded experiment must produce identical traces — the
+    determinism tests diff them to catch tie-break regressions.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, record_trace: bool = False) -> None:
         self._now: float = 0.0
         self._queue: list = []  # (time, seq, event)
         self._seq: int = 0
         self._active_proc: Optional[Process] = None
+        self.trace: Optional[list] = [] if record_trace else None
 
     # -- clock -----------------------------------------------------------
     @property
@@ -90,9 +96,11 @@ class Engine:
     def step(self) -> None:
         """Process exactly one event."""
         try:
-            self._now, _, event = heapq.heappop(self._queue)
+            self._now, seq, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+        if self.trace is not None:
+            self.trace.append((self._now, seq, type(event).__name__))
         event._process()
 
     def run(self, until: Optional[float] = None) -> None:

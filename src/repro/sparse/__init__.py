@@ -9,13 +9,14 @@ balanced partitioning, and nested equal-range splits of the key space.
 from .hashing import IdentityHasher, IndexHasher, MultiplicativeHasher
 from .merge import (
     hash_merge,
+    is_sorted_unique,
     merge_two,
     pairwise_merge,
     position_maps,
     tree_merge,
     union_with_maps,
 )
-from .partition import KeyRange, split_sorted
+from .partition import KeyRange, ranges_tile, split_sorted
 from .vector import SparseVector
 
 __all__ = [
@@ -25,6 +26,8 @@ __all__ = [
     "IdentityHasher",
     "KeyRange",
     "split_sorted",
+    "ranges_tile",
+    "is_sorted_unique",
     "merge_two",
     "hash_merge",
     "pairwise_merge",

@@ -26,6 +26,7 @@ from typing import Sequence
 import numpy as np
 
 __all__ = [
+    "is_sorted_unique",
     "merge_two",
     "hash_merge",
     "pairwise_merge",
@@ -35,6 +36,21 @@ __all__ = [
 ]
 
 _EMPTY = np.empty(0, dtype=np.uint64)
+
+
+def is_sorted_unique(arr: np.ndarray) -> bool:
+    """True when ``arr`` is strictly increasing (sorted with no duplicates).
+
+    The protocol invariant for every key array and every position map:
+    strict increase implies injectivity, which is what lets reduction use
+    plain fancy indexing instead of ``ufunc.at``.
+    """
+    arr = np.asarray(arr)
+    if arr.ndim != 1:
+        return False
+    if arr.size < 2:
+        return True
+    return bool(np.all(arr[1:] > arr[:-1]))
 
 
 def _check_sorted(arr: np.ndarray) -> np.ndarray:

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["KeyRange", "split_sorted"]
+__all__ = ["KeyRange", "split_sorted", "ranges_tile"]
 
 
 @dataclass(frozen=True)
@@ -74,6 +74,27 @@ class KeyRange:
             raise ValueError("keys outside this range")
         inner = np.array(self.boundaries(parts)[1:-1], dtype=np.uint64)
         return np.searchsorted(inner, keys, side="right").astype(np.intp)
+
+
+def ranges_tile(ranges, key_space: int):
+    """Check that distinct ranges partition ``[0, key_space)`` exactly.
+
+    Accepts anything with ``lo``/``hi`` attributes (duplicates are fine —
+    nodes in the same group legitimately share a range).  Returns ``None``
+    when the ranges tile the space, else a human-readable description of
+    the first gap, overlap, or overrun — the ``range-tiling`` invariant
+    of the static checker.
+    """
+    distinct = sorted({(int(r.lo), int(r.hi)) for r in ranges})
+    cursor = 0
+    for lo, hi in distinct:
+        if lo != cursor:
+            kind = "overlap" if lo < cursor else "gap"
+            return f"{kind} at key {min(lo, cursor)}: expected range start {cursor}, got {lo}"
+        cursor = hi
+    if cursor != key_space:
+        return f"ranges end at {cursor}, keyspace is {key_space}"
+    return None
 
 
 def split_sorted(keys: np.ndarray, rng: KeyRange, parts: int) -> list[slice]:

@@ -18,6 +18,8 @@ from typing import Iterable
 
 import numpy as np
 
+from .merge import is_sorted_unique
+
 __all__ = ["SparseVector"]
 
 
@@ -41,10 +43,8 @@ class SparseVector:
                 f"leading axis of values {self.values.shape} must match "
                 f"keys {self.keys.shape}"
             )
-        if validate and self.keys.size > 1:
-            diffs_ok = bool(np.all(self.keys[1:] > self.keys[:-1]))
-            if not diffs_ok:
-                raise ValueError("keys must be strictly increasing (sorted, unique)")
+        if validate and not is_sorted_unique(self.keys):
+            raise ValueError("keys must be strictly increasing (sorted, unique)")
 
     # -- constructors ------------------------------------------------------
     @classmethod

@@ -1,0 +1,74 @@
+"""Static verification of the Kylix protocol: invariants + custom lint.
+
+Two engines, no simulation required for either:
+
+* **Plan checker** — :func:`build_plans` constructs the full
+  ``NodePlan``/``LayerPlan`` configuration state for any topology and
+  degree stack synchronously, and :mod:`repro.verify.invariants` checks
+  the paper's structural claims on it (range tiling, slice covers,
+  injective receive maps, group symmetry, the down/up nesting property).
+  CLI: ``python -m repro verify``.
+* **AST lint** — :mod:`repro.verify.lint` walks the package source with
+  repo-specific rules (determinism of ``simul``/``allreduce``, no bare
+  asserts in library code, explicit accumulator dtypes, declared
+  ``__all__``).  CLI: ``python -m repro lint``.
+
+:class:`ProtocolInvariantError` is re-exported here; library modules
+should import it from :mod:`repro.verify.errors` directly (that module
+is dependency-free, so the import can never cycle).  The checker and
+lint machinery load lazily for the same reason.
+"""
+
+from __future__ import annotations
+
+from .errors import ProtocolInvariantError
+
+__all__ = [
+    "ProtocolInvariantError",
+    "Violation",
+    "check_topology",
+    "check_plans",
+    "verify_all",
+    "assert_valid",
+    "format_report",
+    "build_plans",
+    "default_stacks",
+    "synthetic_spec",
+    "verify_stack",
+    "verify_sizes",
+    "LintFinding",
+    "LintRule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+]
+
+_LAZY = {
+    "Violation": "invariants",
+    "check_topology": "invariants",
+    "check_plans": "invariants",
+    "verify_all": "invariants",
+    "assert_valid": "invariants",
+    "format_report": "invariants",
+    "build_plans": "plan",
+    "default_stacks": "plan",
+    "synthetic_spec": "plan",
+    "verify_stack": "plan",
+    "verify_sizes": "plan",
+    "LintFinding": "lint",
+    "LintRule": "lint",
+    "all_rules": "lint",
+    "lint_file": "lint",
+    "lint_paths": "lint",
+}
+
+
+def __getattr__(name: str):
+    # Lazy so that `from ..verify.errors import ProtocolInvariantError` in
+    # allreduce/net code never re-enters repro.allreduce mid-import.
+    if name in _LAZY:
+        from importlib import import_module
+
+        module = import_module(f".{_LAZY[name]}", __name__)
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

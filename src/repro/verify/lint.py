@@ -1,0 +1,127 @@
+"""A custom AST lint for the ``repro`` codebase.
+
+Generic linters cannot know that ``repro.simul`` must stay deterministic
+or that protocol guards must survive ``python -O``; the rules here encode
+exactly those repo-specific contracts.  Each rule lives in its own module
+under :mod:`repro.verify.rules` and declares which part of the tree it
+applies to; the engine walks the package source, parses each file once,
+and hands the AST to every applicable rule.
+
+Findings can be suppressed per line with a ``# lint: ok`` comment — use
+sparingly and say why in a neighbouring comment.
+
+``python -m repro lint [paths...]`` is the command-line face; with no
+arguments it lints the installed ``repro`` package itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["LintFinding", "LintRule", "all_rules", "lint_file", "lint_paths", "package_root"]
+
+_SUPPRESS = "lint: ok"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class LintRule:
+    """Base class for repo-specific lint rules.
+
+    Subclasses set ``name``/``description``, optionally narrow
+    ``applies_to`` (paths are package-relative, forward-slashed, e.g.
+    ``"simul/engine.py"``) and implement ``check``.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        return True
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[LintFinding]:
+        raise NotImplementedError
+
+    def finding(self, relpath: str, node: ast.AST, message: str) -> LintFinding:
+        return LintFinding(
+            rule=self.name, path=relpath, line=getattr(node, "lineno", 0), message=message
+        )
+
+
+def all_rules() -> List[LintRule]:
+    """One instance of every shipped rule."""
+    from .rules import RULES
+
+    return [cls() for cls in RULES]
+
+
+def package_root() -> Path:
+    """Directory of the installed ``repro`` package (the default lint target)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def lint_file(
+    path: Path,
+    rules: Optional[Sequence[LintRule]] = None,
+    *,
+    relpath: Optional[str] = None,
+) -> List[LintFinding]:
+    """Lint one file.  ``relpath`` overrides rule scoping (tests use this
+    to exercise path-scoped rules on fixture files living elsewhere)."""
+    path = Path(path)
+    if relpath is None:
+        try:
+            relpath = path.resolve().relative_to(package_root()).as_posix()
+        except ValueError:
+            relpath = path.name
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            LintFinding(
+                rule="syntax", path=relpath, line=exc.lineno or 0, message=str(exc.msg)
+            )
+        ]
+    lines = source.splitlines()
+    findings: List[LintFinding] = []
+    for rule in rules if rules is not None else all_rules():
+        if not rule.applies_to(relpath):
+            continue
+        for f in rule.check(tree, relpath):
+            if 0 < f.line <= len(lines) and _SUPPRESS in lines[f.line - 1]:
+                continue
+            findings.append(f)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def lint_paths(
+    paths: Optional[Sequence[Path]] = None,
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[LintFinding]:
+    """Lint files and/or directory trees; defaults to the repro package."""
+    targets = [Path(p) for p in paths] if paths else [package_root()]
+    rules = list(rules) if rules is not None else all_rules()
+    findings: List[LintFinding] = []
+    for target in targets:
+        if target.is_dir():
+            files = sorted(target.rglob("*.py"))
+        else:
+            files = [target]
+        for f in files:
+            findings.extend(lint_file(f, rules))
+    return findings

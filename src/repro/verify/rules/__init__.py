@@ -1,0 +1,29 @@
+"""The rule registry for :mod:`repro.verify.lint`.
+
+One module per rule family; add new rules by importing the class here
+and appending it to ``RULES``.  Each rule's docstring and ``description``
+explain the repo contract it enforces — the catalogue with paper
+references lives in ``docs/verify.md``.
+"""
+
+from .asserts import NoBareAssertRule
+from .determinism import NoUnseededRngRule, NoWallClockRule
+from .dtypes import ExplicitDtypeRule
+from .exports import ModuleExportsRule
+
+__all__ = [
+    "RULES",
+    "NoBareAssertRule",
+    "NoWallClockRule",
+    "NoUnseededRngRule",
+    "ExplicitDtypeRule",
+    "ModuleExportsRule",
+]
+
+RULES = [
+    NoBareAssertRule,
+    NoWallClockRule,
+    NoUnseededRngRule,
+    ExplicitDtypeRule,
+    ModuleExportsRule,
+]

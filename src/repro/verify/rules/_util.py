@@ -1,0 +1,20 @@
+"""Shared AST helpers for lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+__all__ = ["dotted_name"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

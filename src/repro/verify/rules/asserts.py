@@ -1,0 +1,36 @@
+"""Rule: no bare ``assert`` in library code.
+
+``python -O`` strips ``assert`` statements, so a protocol invariant
+guarded by one silently stops being checked in optimised runs — and
+sparse-collective bugs manifest as wrong sums, not crashes.  Library code
+must raise :class:`repro.verify.errors.ProtocolInvariantError` (or
+another typed exception) instead.  Tests are free to assert; this rule
+only walks the installed package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..lint import LintFinding, LintRule
+
+__all__ = ["NoBareAssertRule"]
+
+
+class NoBareAssertRule(LintRule):
+    name = "no-bare-assert"
+    description = (
+        "library code must raise typed exceptions, not assert "
+        "(asserts vanish under python -O)"
+    )
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[LintFinding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    relpath,
+                    node,
+                    "bare assert is stripped under python -O; raise "
+                    "ProtocolInvariantError (repro.verify.errors) instead",
+                )

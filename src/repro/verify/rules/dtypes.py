@@ -1,0 +1,62 @@
+"""Rule: accumulator arrays must declare their dtype.
+
+``np.zeros(n)`` defaults to float64 — but a reduction accumulator built
+that way silently *up-casts* float32 gradient payloads (doubling wire
+maths in the cost model) or, worse, truncates integer/bitwise reductions.
+Views handed out by :mod:`repro.sparse.vector` inherit whatever dtype the
+caller chose, so every array allocated as a reduction target in the data
+plane (``sparse/``, ``allreduce/``, ``net/``) must say which dtype it
+accumulates in — normally ``spec.dtype`` or the payload's own dtype.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..lint import LintFinding, LintRule
+from ._util import dotted_name
+
+__all__ = ["ExplicitDtypeRule"]
+
+_SCOPES = ("sparse/", "allreduce/", "net/")
+
+# allocator -> number of leading positional args before a positional dtype
+_ALLOCATORS = {
+    "np.zeros": 1,
+    "np.ones": 1,
+    "np.empty": 1,
+    "np.full": 2,
+    "numpy.zeros": 1,
+    "numpy.ones": 1,
+    "numpy.empty": 1,
+    "numpy.full": 2,
+}
+
+
+class ExplicitDtypeRule(LintRule):
+    name = "explicit-dtype"
+    description = (
+        "data-plane array allocations must pass an explicit dtype "
+        "(float64 defaults corrupt non-float reductions)"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return any(relpath.startswith(scope) for scope in _SCOPES)
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name not in _ALLOCATORS:
+                continue
+            has_kw = any(kw.arg == "dtype" for kw in node.keywords)
+            has_pos = len(node.args) > _ALLOCATORS[name]
+            if not has_kw and not has_pos:
+                yield self.finding(
+                    relpath,
+                    node,
+                    f"{name}() without an explicit dtype defaults to float64; "
+                    "pass dtype= (e.g. spec.dtype)",
+                )

@@ -1,0 +1,40 @@
+"""Rule: every module declares ``__all__``.
+
+The public surface of each module is part of the protocol documentation
+— ``from repro.sparse import *`` in a notebook must not drag in numpy
+aliases or helper functions.  An explicit ``__all__`` also lets the API
+docs and the re-export ``__init__`` files stay honest.  ``__main__.py``
+style entry scripts are still required to declare one (theirs is just
+``["main"]``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..lint import LintFinding, LintRule
+
+__all__ = ["ModuleExportsRule"]
+
+
+class ModuleExportsRule(LintRule):
+    name = "module-exports"
+    description = "every module must bind __all__ at top level"
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[LintFinding]:
+        for node in tree.body:
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for t in targets:
+                if isinstance(t, ast.Name) and t.id == "__all__":
+                    return
+        yield LintFinding(
+            rule=self.name,
+            path=relpath,
+            line=1,
+            message="module does not define __all__; declare its public surface",
+        )

@@ -1,0 +1,200 @@
+"""The custom AST lint: every rule fires on a seeded fixture, and the
+shipped package itself lints clean."""
+
+import textwrap
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.verify import all_rules, lint_file, lint_paths
+from repro.verify.lint import package_root
+from repro.verify.rules import (
+    ExplicitDtypeRule,
+    ModuleExportsRule,
+    NoBareAssertRule,
+    NoUnseededRngRule,
+    NoWallClockRule,
+)
+
+
+def write_fixture(tmp_path, source, name="fixture.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def rules_fired(findings):
+    return {f.rule for f in findings}
+
+
+class TestRuleFixtures:
+    def test_no_bare_assert_fires(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+
+            def guard(x):
+                assert x > 0, "stripped under -O"
+            """,
+        )
+        findings = lint_file(path, [NoBareAssertRule()], relpath="allreduce/fixture.py")
+        assert rules_fired(findings) == {"no-bare-assert"}
+        assert findings[0].line == 5
+
+    def test_no_wall_clock_fires_in_scope(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+            import time
+
+            def now():
+                return time.perf_counter()
+            """,
+        )
+        findings = lint_file(path, [NoWallClockRule()], relpath="simul/fixture.py")
+        assert rules_fired(findings) == {"no-wall-clock"}
+
+    def test_no_wall_clock_out_of_scope_is_clean(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+            import time
+
+            def now():
+                return time.perf_counter()
+            """,
+        )
+        # bench/ may read the host clock (it times real kernels)
+        assert lint_file(path, [NoWallClockRule()], relpath="bench/fixture.py") == []
+
+    def test_no_unseeded_rng_fires_on_default_rng(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng().normal()
+            """,
+        )
+        findings = lint_file(path, [NoUnseededRngRule()], relpath="allreduce/fixture.py")
+        assert rules_fired(findings) == {"no-unseeded-rng"}
+
+    def test_no_unseeded_rng_fires_on_global_state(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+            import random
+            import numpy as np
+
+            def draw():
+                np.random.shuffle([1, 2])
+                return random.random()
+            """,
+        )
+        findings = lint_file(path, [NoUnseededRngRule()], relpath="simul/fixture.py")
+        assert len(findings) == 2
+
+    def test_seeded_rng_is_clean(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+            import numpy as np
+
+            def draw(seed):
+                rng = np.random.default_rng(seed)
+                gen = np.random.Generator(np.random.PCG64(seed))
+                return rng.normal() + gen.normal()
+            """,
+        )
+        assert lint_file(path, [NoUnseededRngRule()], relpath="simul/fixture.py") == []
+
+    def test_explicit_dtype_fires(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+            import numpy as np
+
+            def accumulator(n):
+                return np.zeros(n), np.full(n, 0)
+            """,
+        )
+        findings = lint_file(path, [ExplicitDtypeRule()], relpath="sparse/fixture.py")
+        assert len(findings) == 2
+        assert rules_fired(findings) == {"explicit-dtype"}
+
+    def test_explicit_dtype_accepts_positional_and_keyword(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+            import numpy as np
+
+            def accumulator(n, dt):
+                return np.zeros(n, bool), np.full(n, 0, dt), np.empty(n, dtype=dt)
+            """,
+        )
+        assert lint_file(path, [ExplicitDtypeRule()], relpath="sparse/fixture.py") == []
+
+    def test_module_exports_fires(self, tmp_path):
+        path = write_fixture(tmp_path, "def api():\n    return 1\n")
+        findings = lint_file(path, [ModuleExportsRule()], relpath="data/fixture.py")
+        assert rules_fired(findings) == {"module-exports"}
+
+    def test_suppression_comment_skips_finding(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+
+            def guard(x):
+                assert x > 0  # intentional: test helper -- lint: ok
+            """,
+        )
+        assert lint_file(path, [NoBareAssertRule()], relpath="allreduce/fixture.py") == []
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        path = write_fixture(tmp_path, "def broken(:\n")
+        findings = lint_file(path)
+        assert rules_fired(findings) == {"syntax"}
+
+
+class TestPackageClean:
+    def test_shipped_package_lints_clean(self):
+        findings = lint_paths([package_root()])
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_every_rule_has_name_and_description(self):
+        for rule in all_rules():
+            assert rule.name and rule.description
+
+    def test_rule_registry_is_complete(self):
+        names = {r.name for r in all_rules()}
+        assert names == {
+            "no-bare-assert",
+            "no-wall-clock",
+            "no-unseeded-rng",
+            "explicit-dtype",
+            "module-exports",
+        }
+
+
+class TestLintCLI:
+    def test_lint_clean_package_exits_zero(self, capsys):
+        assert cli_main(["lint"]) == 0
+        assert "lint clean" in capsys.readouterr().out
+
+    def test_lint_finds_violations_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "allreduce"
+        bad.mkdir()
+        (bad / "broken.py").write_text("def f(x):\n    assert x\n")
+        assert cli_main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "no-bare-assert" in out and "module-exports" in out
