@@ -9,10 +9,11 @@ Commands
     A 30-second tour: one sparse allreduce with a traffic report.
 ``info``
     Version, calibration constants, and the reproduced-results summary.
-``verify [--stacks 8,16,64] [--n N] [--seed S]``
+``verify [--stacks 8,16,64] [--n N] [--seed S] [--replication S]``
     Statically check every protocol invariant (range tiling, slice
     covers, injective maps, nesting) over the degree stacks of the given
-    cluster sizes.  Exit 1 on any violation.
+    cluster sizes; ``--replication`` adds the §V replica-group checks
+    and sweeps the logical ``m/S`` stacks.  Exit 1 on any violation.
 ``lint [paths...]``
     Run the repo-specific AST lint over the ``repro`` package (or the
     given files/directories).  Exit 1 on any finding.
@@ -89,6 +90,14 @@ def _verify(args: list[str]) -> int:
     )
     parser.add_argument("--n", type=int, default=512, help="synthetic feature count")
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=None,
+        metavar="S",
+        help="treat each size as S-way replicated (checks the replica-group "
+        "structure and sweeps the logical m/S stacks)",
+    )
     opts = parser.parse_args(args)
     try:
         sizes = [int(s) for s in opts.stacks.split(",") if s]
@@ -96,8 +105,12 @@ def _verify(args: list[str]) -> int:
         parser.error(f"--stacks must be comma-separated integers, got {opts.stacks!r}")
     if not sizes or any(s < 1 for s in sizes):
         parser.error(f"--stacks needs at least one positive size, got {opts.stacks!r}")
+    if opts.replication is not None and opts.replication < 1:
+        parser.error(f"--replication must be >= 1, got {opts.replication}")
 
-    report = verify_sizes(sizes, n=opts.n, seed=opts.seed)
+    report = verify_sizes(
+        sizes, n=opts.n, seed=opts.seed, replication=opts.replication
+    )
     bad = 0
     for key, violations in report.items():
         if violations:

@@ -26,11 +26,13 @@ all-to-all allreduce, ``[2]*log2(m)`` the binary butterfly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..cluster import Cluster, SimNode
+from ..faults import CoverageReport, FaultPlan, LossRecord, PeerFailedError, RetryPolicy
+from ..simul import WaitTimeout, wait_with_timeout
 from ..sparse import (
     IndexHasher,
     KeyRange,
@@ -114,6 +116,21 @@ class KylixAllreduce:
         When True (default) a requested in-index nobody contributes raises
         :class:`CoverageError` during reduction; when False such entries
         return zeros.
+    retry:
+        Optional :class:`~repro.faults.RetryPolicy` enabling bounded
+        receive deadlines with NACK retransmission.  ``None`` (default)
+        keeps the legacy wait-forever behaviour — unless the cluster's
+        failure plan is a :class:`~repro.faults.FaultPlan`, in which case
+        a default policy switches on automatically (a fault-injected run
+        without deadlines would just hang).
+    degrade:
+        Fault-loss handling when a peer is unrecoverable (all replicas of
+        a slot dead, retries exhausted).  ``False`` (strict, the default)
+        raises :class:`~repro.faults.PeerFailedError` naming the dead
+        slot; ``True`` completes with the surviving data — unrecoverable
+        entries hold the reduction identity — and publishes an exact
+        :class:`~repro.faults.CoverageReport` as :attr:`last_report`.
+        Only meaningful when a retry policy is in effect.
 
     Usage::
 
@@ -129,6 +146,8 @@ class KylixAllreduce:
         *,
         hasher: Optional[IndexHasher] = None,
         strict_coverage: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        degrade: bool = False,
         name: str = "kylix",
     ):
         self.cluster = cluster
@@ -138,12 +157,17 @@ class KylixAllreduce:
             degrees, self.size, key_space=self.hasher.key_space
         )
         self.strict_coverage = strict_coverage
+        self.retry = retry
+        self.degrade = degrade
         self.name = name
         self.spec: Optional[ReduceSpec] = None
         self.plans: Dict[int, NodePlan] = {}
         self.config_timing: Optional[PhaseTiming] = None
         self.last_reduce_timing: Optional[PhaseTiming] = None
         self.last_combined_timing: Optional[PhaseTiming] = None
+        self.last_report: Optional[CoverageReport] = None
+        self.duplicates_dropped = 0  # retransmit/injected copies deduped by seq
+        self._loss_events: List[LossRecord] = []
         self._instance = 0
 
     # ------------------------------------------------------------------
@@ -165,19 +189,144 @@ class KylixAllreduce:
         """Group position of the (logical) sender of a received message."""
         return pos_of[src]
 
-    def _recv_group(self, node: SimNode, tag, pos_of: Dict[int, int], count: int):
+    def _request_resend(self, node: SimNode, member: int, tag, attempt: int):
+        """Ask the fabric to retransmit ``member``'s message for ``tag``.
+
+        Tri-state: True = resend scheduled, False = the sender is dead
+        (no recovery possible), None = the sender is alive but has not
+        reached that send yet (its own recovery may be in progress).
+        """
+        return node.cluster.fabric.request_resend(node.rank, member, tag, attempt)
+
+    def _effective_retry(self) -> Optional[RetryPolicy]:
+        """The retry policy actually in force for this protocol.
+
+        Explicit wins; otherwise a default policy auto-enables when the
+        cluster carries a :class:`~repro.faults.FaultPlan` (a fault-
+        injected run without deadlines would hang on the first loss).
+        ``None`` preserves the legacy wait-forever receive path exactly.
+        """
+        if self.retry is not None:
+            return self.retry
+        if isinstance(getattr(self.cluster, "failures", None), FaultPlan):
+            return RetryPolicy()
+        return None
+
+    def _degrade_active(self) -> bool:
+        return self.degrade and self._effective_retry() is not None
+
+    def _recv_group(
+        self,
+        node: SimNode,
+        tag,
+        pos_of: Dict[int, int],
+        count: int,
+        *,
+        phase: str = "",
+        layer: int = -1,
+        nbytes_hint: int = 0,
+    ):
         """Receive one message per group position; duplicates (replica
-        copies that lost the race) are skipped.  Returns messages indexed
-        by group position."""
+        copies that lost the race, injected copies, late retransmits) are
+        skipped.  Returns messages indexed by group position.
+
+        With a retry policy in force, each wait is bounded by a deadline
+        derived from the netmodel envelope; on expiry a NACK is sent for
+        every missing member (bounded by ``max_retries``, backoff applied
+        to subsequent deadlines), receivers dedupe retransmitted copies
+        by sequence number, and an unrecoverable member either raises
+        :class:`PeerFailedError` (strict) or leaves a ``None`` hole for
+        the degrade machinery to account (the entry becomes a loss in the
+        :class:`CoverageReport`).
+        """
+        retry = self._effective_retry()
         received: List = [None] * count
         got = 0
+        if retry is None:
+            while got < count:
+                msg = yield node.recv(tag=tag)
+                q = self._pos_from_src(msg.src, pos_of)
+                if received[q] is not None:
+                    continue  # duplicate replica copy
+                received[q] = msg
+                got += 1
+            return received
+
+        params = self.cluster.params
+        engine = node.engine
+        degrade = self.degrade
+        seen_seq: set = set()  # (physical src, seq) already consumed
+        tries: Dict[int, int] = {}  # member -> resend requests issued
+        abandoned: set = set()  # positions declared unrecoverable
+        timeouts = 0  # consecutive expiries since last progress
+        pending_waits = 0
+        # A member can be late because *its* upstream peer died and it is
+        # burning its own retry budget; such waits (fabric says "alive,
+        # nothing sent yet") do not consume our budget but are capped so
+        # a cascade of failures still resolves in bounded time.
+        max_pending = 4 * (retry.max_retries + 1)
+
+        def give_up(member: int, q: int):
+            if not degrade:
+                raise PeerFailedError(
+                    f"{self.name}: no response from slot {member} "
+                    f"(phase={phase or '?'}, layer={layer}) within the retry "
+                    f"budget ({retry.max_retries} resend requests)",
+                    slot=member,
+                    phase=phase,
+                    layer=layer,
+                )
+            self._loss_events.append(
+                LossRecord(
+                    rank=self._logical(node.rank), member=member, phase=phase, layer=layer
+                )
+            )
+            abandoned.add(q)
+
         while got < count:
-            msg = yield node.recv(tag=tag)
+            deadline = retry.timeout_for(
+                params, nbytes_hint, min(timeouts, retry.max_retries)
+            )
+            try:
+                msg = yield from wait_with_timeout(engine, node.recv(tag=tag), deadline)
+            except WaitTimeout:
+                timeouts += 1
+                any_pending = False
+                for member, q in sorted(pos_of.items(), key=lambda kv: kv[1]):
+                    if received[q] is not None or q in abandoned:
+                        continue
+                    attempt = tries.get(member, 0)
+                    if attempt >= retry.max_retries:
+                        give_up(member, q)
+                        got += 1
+                        continue
+                    status = self._request_resend(node, member, tag, attempt + 1)
+                    if status is True:
+                        tries[member] = attempt + 1
+                    elif status is False:  # sender dead: no recovery possible
+                        give_up(member, q)
+                        got += 1
+                    else:
+                        any_pending = True
+                if any_pending:
+                    pending_waits += 1
+                    if pending_waits > max_pending:
+                        for member, q in sorted(pos_of.items(), key=lambda kv: kv[1]):
+                            if received[q] is None and q not in abandoned:
+                                give_up(member, q)
+                                got += 1
+                continue
+            key = (msg.src, msg.seq)
+            if key in seen_seq:
+                self.duplicates_dropped += 1
+                continue
+            seen_seq.add(key)
             q = self._pos_from_src(msg.src, pos_of)
-            if received[q] is not None:
-                continue  # duplicate replica copy
+            if received[q] is not None or q in abandoned:
+                continue  # replica copy that lost the race / late arrival
             received[q] = msg
             got += 1
+            timeouts = 0
         return received
 
     # ------------------------------------------------------------------
@@ -195,12 +344,13 @@ class KylixAllreduce:
         self._instance += 1
         inst = self._instance
         start = self.cluster.now
+        self._loss_events = []
         self.plans = self.cluster.run(self._config_proto, spec, inst)
         self.config_timing = PhaseTiming(start, self.cluster.now)
         return self.plans
 
     def _config_proto(self, node: SimNode, spec: ReduceSpec, inst: int):
-        plan, _ = yield from self._down_pass(node, spec, inst, values=None)
+        plan, _, _ = yield from self._down_pass(node, spec, inst, values=None)
         return plan
 
     def _down_pass(
@@ -214,8 +364,12 @@ class KylixAllreduce:
         values in the same messages (§III's combined configuration and
         reduction for minibatch workloads).
 
-        Returns ``(plan, partial)`` where ``partial`` is the node's fully
-        reduced bottom-layer values (``None`` in config-only mode).
+        Returns ``(plan, partial, partial_mask)`` where ``partial`` is the
+        node's fully reduced bottom-layer values (``None`` in config-only
+        mode) and ``partial_mask`` is the per-position validity mask
+        (``None`` unless degraded completion is active: a position is
+        valid iff every group member whose part covers it delivered a
+        valid contribution).
         """
         rank = self._logical(node.rank)
         out_keys_raw = self.hasher.hash(spec.out_indices[rank])
@@ -231,11 +385,15 @@ class KylixAllreduce:
         )
 
         combined = values is not None
+        degrade = self._degrade_active()
         ufunc = reduction_ufunc(spec.op)
         identity = reduction_identity(spec.op, spec.dtype)
         v = None
+        v_mask = None
         if combined:
             v = self._aligned_out_values(rank, plan, spec, values)
+            if degrade:
+                v_mask = np.ones(v.shape[0], dtype=bool)
 
         rng = KeyRange.full(self.hasher.key_space)
         topo = self.topology
@@ -255,16 +413,27 @@ class KylixAllreduce:
                         in_keys[in_slices[q]],
                         v[out_slices[q]],
                     )
+                    if degrade:
+                        payload = payload + (v_mask[out_slices[q]],)
                     phase = PHASE_COMBINED_DOWN
                 else:
                     payload = (out_keys[out_slices[q]], in_keys[in_slices[q]])
                     phase = PHASE_CONFIG
                 self._send_to(node, member, payload, tag=tag, phase=phase, layer=layer)
 
-            msgs = yield from self._recv_group(node, tag, pos_of, d)
-            out_parts = [m.payload[0] for m in msgs]
-            in_parts = [m.payload[1] for m in msgs]
-            recv_bytes = sum(m.nbytes for m in msgs)
+            msgs = yield from self._recv_group(
+                node, tag, pos_of, d,
+                phase=phase, layer=layer,
+                nbytes_hint=out_keys.nbytes + in_keys.nbytes,
+            )
+            # A None hole (unrecoverable member under degraded completion)
+            # contributes empty index parts: its keys simply never join
+            # this node's union, so nothing routes through the hole.
+            out_parts = [
+                m.payload[0] if m is not None else out_keys[:0] for m in msgs
+            ]
+            in_parts = [m.payload[1] if m is not None else in_keys[:0] for m in msgs]
+            recv_bytes = sum(m.nbytes for m in msgs if m is not None)
             # Tree-merge the received index sets; memoise position maps.
             out_union, out_maps = union_with_maps(out_parts)
             in_union, in_maps = union_with_maps(in_parts)
@@ -272,10 +441,18 @@ class KylixAllreduce:
                 partial = np.full(
                     (out_union.size, *spec.value_shape), identity, dtype=spec.dtype
                 )
+                partial_mask = (
+                    np.ones(out_union.size, dtype=bool) if degrade else None
+                )
                 for q, msg in enumerate(msgs):
+                    if msg is None:
+                        continue
                     m = out_maps[q]
                     partial[m] = ufunc(partial[m], msg.payload[2])
+                    if degrade:
+                        partial_mask[m] &= msg.payload[3]
                 v = partial
+                v_mask = partial_mask
             # Merge cost: every element participates in ~log2(d)+1 merges.
             depth = max(1, int(np.ceil(np.log2(max(d, 2)))) + 1)
             yield node.compute_bytes(recv_bytes * depth)
@@ -309,7 +486,7 @@ class KylixAllreduce:
         plan.bottom_pos = clipped
         plan.bottom_hit = hit
         plan.bottom_out_keys = out_keys
-        return plan, v
+        return plan, v, v_mask
 
     def _aligned_out_values(
         self, rank: int, plan: NodePlan, spec: ReduceSpec, values: Mapping[int, np.ndarray]
@@ -329,12 +506,20 @@ class KylixAllreduce:
         return v
 
     def _bottom_projection(
-        self, rank: int, plan: NodePlan, spec: ReduceSpec, v: np.ndarray
-    ) -> np.ndarray:
-        """Project the fully reduced bottom partial onto hosted in-keys."""
+        self, rank: int, plan: NodePlan, spec: ReduceSpec, v: np.ndarray,
+        v_mask: Optional[np.ndarray] = None,
+    ):
+        """Project the fully reduced bottom partial onto hosted in-keys.
+
+        Returns ``(r, r_mask)``; ``r_mask`` is None outside degraded
+        completion.  Under degradation, positions whose reduced value is
+        incomplete (mask holes) or uncovered (spec coverage holes) hold
+        the reduction identity and are reported, not raised.
+        """
         identity = reduction_identity(spec.op, spec.dtype)
+        degrade = v_mask is not None
         if plan.bottom_hit is not None and not bool(plan.bottom_hit.all()):
-            if self.strict_coverage:
+            if self.strict_coverage and not degrade:
                 missing = int((~plan.bottom_hit).sum())
                 raise CoverageError(
                     f"rank {rank}: {missing} requested indices have no contributor"
@@ -342,35 +527,73 @@ class KylixAllreduce:
         r = np.full(
             (plan.bottom_pos.size, *spec.value_shape), identity, dtype=spec.dtype
         )
+        hit = plan.bottom_hit
+        if degrade and v.size:
+            hit = hit & v_mask[plan.bottom_pos]
         if v.size:
-            np.copyto(r, v[plan.bottom_pos], where=_expand(plan.bottom_hit, r.ndim))
-        return r
+            np.copyto(r, v[plan.bottom_pos], where=_expand(hit, r.ndim))
+        return r, (hit.copy() if degrade else None)
 
-    def _up_pass(self, node: SimNode, plan: NodePlan, spec: ReduceSpec, r, inst: int):
-        """Upward allgather: return reduced values along the memoised routes."""
+    def _up_pass(
+        self, node: SimNode, plan: NodePlan, spec: ReduceSpec, r, inst: int,
+        r_mask: Optional[np.ndarray] = None,
+    ):
+        """Upward allgather: return reduced values along the memoised routes.
+
+        Returns ``(r, r_mask)``.  Under degraded completion every payload
+        carries its validity mask; a missing member (or one that never
+        learned our keys because its config part from us was lost) leaves
+        its whole slice invalid and identity-filled.
+        """
         vshape = spec.value_shape
         dtype = spec.dtype
+        degrade = r_mask is not None
+        identity = reduction_identity(spec.op, spec.dtype)
         for layer in range(len(plan.layers), 0, -1):
             lp = plan.layers[layer - 1]
             tag = (self.name, "up", inst, layer)
             for q, member in enumerate(lp.group):
+                part = r[lp.in_recv_maps[q]]
+                payload = (part, r_mask[lp.in_recv_maps[q]]) if degrade else part
                 self._send_to(
                     node,
                     member,
-                    r[lp.in_recv_maps[q]],
+                    payload,
                     tag=tag,
                     phase=PHASE_GATHER_UP,
                     layer=layer,
                 )
-            out = np.zeros((lp.in_prev_size, *vshape), dtype=dtype)
-            msgs = yield from self._recv_group(node, tag, lp.pos_of, len(lp.group))
+            if degrade:
+                out = np.full((lp.in_prev_size, *vshape), identity, dtype=dtype)
+                out_mask = np.zeros(lp.in_prev_size, dtype=bool)
+            else:
+                out = np.zeros((lp.in_prev_size, *vshape), dtype=dtype)
+                out_mask = None
+            msgs = yield from self._recv_group(
+                node, tag, lp.pos_of, len(lp.group),
+                phase=PHASE_GATHER_UP, layer=layer, nbytes_hint=r.nbytes,
+            )
             recv_bytes = 0
             for q, msg in enumerate(msgs):
-                out[lp.in_slices[q]] = msg.payload
+                if msg is None:
+                    continue  # unrecoverable member: slice stays invalid
+                sl = lp.in_slices[q]
+                if degrade:
+                    vals, mask_part = msg.payload
+                    if len(vals) != (sl.stop - sl.start):
+                        # The member never integrated our config part, so
+                        # it cannot return our keys: whole slice lost.
+                        recv_bytes += msg.nbytes
+                        continue
+                    out[sl] = vals
+                    out_mask[sl] = mask_part
+                else:
+                    out[sl] = msg.payload
                 recv_bytes += msg.nbytes
             yield node.compute_bytes(recv_bytes)
             r = out
-        return r
+            r_mask = out_mask
+        return r, r_mask
 
     # ------------------------------------------------------------------
     # Reduction
@@ -387,26 +610,78 @@ class KylixAllreduce:
         self._instance += 1
         inst = self._instance
         start = self.cluster.now
+        self._loss_events = []
         results = self.cluster.run(self._reduce_proto, spec, out_values, inst)
         self.last_reduce_timing = PhaseTiming(start, self.cluster.now)
-        return results
+        return self._finish_report(results)
+
+    # ------------------------------------------------------------------
+    # Degraded-completion accounting
+    # ------------------------------------------------------------------
+    def _collation_rank(self, logical_rank: int) -> int:
+        """Physical rank whose result represents ``logical_rank``."""
+        return logical_rank
+
+    def _finish_report(self, results: Dict[int, Any]) -> Dict[int, Any]:
+        """Strip validity masks off protocol results and publish the
+        :class:`CoverageReport` for this run as :attr:`last_report`.
+
+        Outside degraded completion this is the identity.  The report's
+        per-rank lost indices are taken from the same replica that
+        :meth:`reduce` returns values from, so report and results always
+        agree.
+        """
+        if not self._degrade_active():
+            self.last_report = None
+            return results
+        spec = self.spec
+        values: Dict[int, Any] = {}
+        masks: Dict[int, np.ndarray] = {}
+        for rank, payload in results.items():
+            vals, mask = payload
+            values[rank] = vals
+            masks[rank] = mask
+        lost: Dict[int, np.ndarray] = {}
+        for lr in range(self.size):
+            phys = self._collation_rank(lr)
+            if phys is None or phys not in masks:
+                # The rank (or every replica of it) died mid-run: there is
+                # no surviving result, so its entire slice is lost.
+                lost[lr] = np.asarray(spec.in_indices[lr])
+                continue
+            mask = masks[phys]
+            if not bool(mask.all()):
+                lost[lr] = np.asarray(spec.in_indices[lr])[~mask]
+        self.last_report = CoverageReport(
+            total_ranks=self.size,
+            in_sizes={lr: len(spec.in_indices[lr]) for lr in range(self.size)},
+            lost_indices=lost,
+            dead_members=tuple(e.member for e in self._loss_events),
+            losses=tuple(self._loss_events),
+        )
+        return values
 
     def _value_down_pass(
         self, node: SimNode, plan: NodePlan, spec: ReduceSpec, out_values, inst: int
     ):
         """Values ride the memoised routes downward; returns the node's
-        fully reduced bottom partial (aligned with ``bottom_out_keys``)."""
+        fully reduced bottom partial (aligned with ``bottom_out_keys``)
+        and its validity mask (None outside degraded completion)."""
         rank = self._logical(node.rank)
+        degrade = self._degrade_active()
         ufunc = reduction_ufunc(spec.op)
         identity = reduction_identity(spec.op, spec.dtype)
         v = self._aligned_out_values(rank, plan, spec, out_values)
+        v_mask = np.ones(v.shape[0], dtype=bool) if degrade else None
         for layer, lp in enumerate(plan.layers, start=1):
             tag = (self.name, "rd", inst, layer)
             for q, member in enumerate(lp.group):
+                part = v[lp.out_slices[q]]
+                payload = (part, v_mask[lp.out_slices[q]]) if degrade else part
                 self._send_to(
                     node,
                     member,
-                    v[lp.out_slices[q]],
+                    payload,
                     tag=tag,
                     phase=PHASE_REDUCE_DOWN,
                     layer=layer,
@@ -414,33 +689,50 @@ class KylixAllreduce:
             partial = np.full(
                 (lp.out_union_size, *spec.value_shape), identity, dtype=spec.dtype
             )
-            msgs = yield from self._recv_group(node, tag, lp.pos_of, len(lp.group))
+            partial_mask = np.ones(lp.out_union_size, dtype=bool) if degrade else None
+            msgs = yield from self._recv_group(
+                node, tag, lp.pos_of, len(lp.group),
+                phase=PHASE_REDUCE_DOWN, layer=layer, nbytes_hint=v.nbytes,
+            )
             recv_bytes = 0
             for q, msg in enumerate(msgs):
                 # Positions within one map are unique, so the combine can
                 # use plain fancy indexing rather than ufunc.at.
                 m = lp.out_recv_maps[q]
-                partial[m] = ufunc(partial[m], msg.payload)
+                if msg is None:
+                    # Unrecoverable member: every key its part covered is
+                    # now an incomplete sum.
+                    partial_mask[m] = False
+                    continue
+                if degrade:
+                    vals, mask_part = msg.payload
+                    partial[m] = ufunc(partial[m], vals)
+                    partial_mask[m] &= mask_part
+                else:
+                    partial[m] = ufunc(partial[m], msg.payload)
                 recv_bytes += msg.nbytes
             yield node.compute_bytes(recv_bytes)
             v = partial
-        return v
+            v_mask = partial_mask
+        return v, v_mask
 
     def _reduce_proto(
         self, node: SimNode, spec: ReduceSpec, out_values: Mapping[int, np.ndarray], inst: int
     ):
         rank = self._logical(node.rank)
         plan = self.plans[node.rank]
-        v = yield from self._value_down_pass(node, plan, spec, out_values, inst)
-        r = self._bottom_projection(rank, plan, spec, v)
-        r = yield from self._up_pass(node, plan, spec, r, inst)
-        return r[plan.in_inverse]
+        v, v_mask = yield from self._value_down_pass(node, plan, spec, out_values, inst)
+        r, r_mask = self._bottom_projection(rank, plan, spec, v, v_mask)
+        r, r_mask = yield from self._up_pass(node, plan, spec, r, inst, r_mask)
+        if r_mask is None:
+            return r[plan.in_inverse]
+        return r[plan.in_inverse], r_mask[plan.in_inverse]
 
     def _scatter_proto(
         self, node: SimNode, spec: ReduceSpec, out_values: Mapping[int, np.ndarray], inst: int
     ):
         plan = self.plans[node.rank]
-        v = yield from self._value_down_pass(node, plan, spec, out_values, inst)
+        v, _ = yield from self._value_down_pass(node, plan, spec, out_values, inst)
         return v
 
     def _gather_proto(
@@ -454,18 +746,25 @@ class KylixAllreduce:
                 f"rank {rank}: bottom values shape {v.shape} does not match "
                 f"the bottom range ({plan.bottom_out_keys.size} keys)"
             )
-        r = self._bottom_projection(rank, plan, spec, v)
-        r = yield from self._up_pass(node, plan, spec, r, inst)
-        return r[plan.in_inverse]
+        v_mask = (
+            np.ones(v.shape[0], dtype=bool) if self._degrade_active() else None
+        )
+        r, r_mask = self._bottom_projection(rank, plan, spec, v, v_mask)
+        r, r_mask = yield from self._up_pass(node, plan, spec, r, inst, r_mask)
+        if r_mask is None:
+            return r[plan.in_inverse]
+        return r[plan.in_inverse], r_mask[plan.in_inverse]
 
     def _combined_proto(
         self, node: SimNode, spec: ReduceSpec, out_values: Mapping[int, np.ndarray], inst: int
     ):
         rank = self._logical(node.rank)
-        plan, v = yield from self._down_pass(node, spec, inst, values=out_values)
-        r = self._bottom_projection(rank, plan, spec, v)
-        r = yield from self._up_pass(node, plan, spec, r, inst)
-        return plan, r[plan.in_inverse]
+        plan, v, v_mask = yield from self._down_pass(node, spec, inst, values=out_values)
+        r, r_mask = self._bottom_projection(rank, plan, spec, v, v_mask)
+        r, r_mask = yield from self._up_pass(node, plan, spec, r, inst, r_mask)
+        if r_mask is None:
+            return plan, r[plan.in_inverse]
+        return plan, (r[plan.in_inverse], r_mask[plan.in_inverse])
 
     # ------------------------------------------------------------------
     def verify_plans(self) -> None:
@@ -541,10 +840,12 @@ class KylixAllreduce:
         }
         self._instance += 1
         start = self.cluster.now
+        self._loss_events = []
         raw = self.cluster.run(
             self._gather_proto, self.spec, values, self._instance
         )
         self.last_reduce_timing = PhaseTiming(start, self.cluster.now)
+        raw = self._finish_report(raw)
         return {self._logical(r): v for r, v in raw.items()}
 
     def allreduce_combined(
@@ -568,10 +869,18 @@ class KylixAllreduce:
         self._instance += 1
         inst = self._instance
         start = self.cluster.now
+        self._loss_events = []
         raw = self.cluster.run(self._combined_proto, spec, out_values, inst)
         self.plans = {rank: pr[0] for rank, pr in raw.items()}
         self.last_combined_timing = PhaseTiming(start, self.cluster.now)
-        return {self._logical(rank): pr[1] for rank, pr in raw.items()}
+        results = self._finish_report({rank: pr[1] for rank, pr in raw.items()})
+        if self._degrade_active():
+            return {
+                lr: results[self._collation_rank(lr)]
+                for lr in range(self.size)
+                if self._collation_rank(lr) in results
+            }
+        return {self._logical(rank): v for rank, v in results.items()}
 
 
 def _expand(mask: np.ndarray, ndim: int) -> np.ndarray:

@@ -26,6 +26,7 @@ from typing import Dict, Mapping, Optional, Sequence
 import numpy as np
 
 from ..cluster import Cluster, SimNode
+from ..faults import PeerFailedError
 from ..sparse import IndexHasher
 from .base import ReduceSpec
 from .kylix import KylixAllreduce
@@ -65,6 +66,8 @@ class ReplicatedKylix(KylixAllreduce):
         replication: int = 2,
         hasher: Optional[IndexHasher] = None,
         strict_coverage: bool = True,
+        retry=None,
+        degrade: bool = False,
         name: str = "kylix-rep",
     ):
         if replication < 1:
@@ -80,6 +83,8 @@ class ReplicatedKylix(KylixAllreduce):
             degrees,
             hasher=hasher,
             strict_coverage=strict_coverage,
+            retry=retry,
+            degrade=degrade,
             name=name,
         )
 
@@ -101,23 +106,52 @@ class ReplicatedKylix(KylixAllreduce):
     def _pos_from_src(self, src: int, pos_of: Dict[int, int]) -> int:
         return pos_of[self._logical(src)]
 
+    def _request_resend(self, node: SimNode, member: int, tag, attempt: int):
+        """NACK every replica of the logical member; the slot is only
+        unrecoverable when *all* replicas are dead."""
+        statuses = [
+            node.cluster.fabric.request_resend(node.rank, src, tag, attempt)
+            for src in self.replicas(member)
+        ]
+        if any(s is True for s in statuses):
+            return True
+        if any(s is None for s in statuses):
+            return None
+        return False
+
     # -- result collation ----------------------------------------------------
     def _first_live_replica(self, logical_rank: int) -> int:
         for p in self.replicas(logical_rank):
             if self.cluster.is_alive(p):
                 return p
-        raise RuntimeError(
-            f"all {self.replication} replicas of logical slot {logical_rank} are dead"
+        raise PeerFailedError(
+            f"all {self.replication} replicas of logical slot "
+            f"{logical_rank} are dead",
+            slot=logical_rank,
         )
+
+    def _collation_rank(self, logical_rank: int):
+        try:
+            return self._first_live_replica(logical_rank)
+        except PeerFailedError:
+            if self._degrade_active():
+                # Whole replica group dead: no surviving result; the
+                # coverage report marks the slot fully lost instead.
+                return None
+            raise
 
     def reduce(self, out_values: Mapping[int, np.ndarray]) -> Dict[int, np.ndarray]:
         """Reduce; returns values keyed by *logical* rank.
 
         Every live replica computes the full result for its slot; the
         answer for each slot is taken from its first live replica (all
-        replicas hold identical values).
+        replicas hold identical values, and :attr:`last_report` — when
+        degraded completion is active — accounts the same replica).
         """
         physical = super().reduce(out_values)
-        return {
-            lr: physical[self._first_live_replica(lr)] for lr in range(self.size)
-        }
+        out: Dict[int, np.ndarray] = {}
+        for lr in range(self.size):
+            phys = self._collation_rank(lr)
+            if phys is not None and phys in physical:
+                out[lr] = physical[phys]
+        return out

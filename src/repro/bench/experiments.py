@@ -427,6 +427,39 @@ def run_table1(
 
         cfg, red = averaged(make_rep, spec32, vals32)
         cols.append(Table1Column("8x4 replicated=2 (64 nodes)", dead, cfg, red))
+
+    # Extended columns (beyond the paper's grid): the fault classes the
+    # repro.faults layer adds.  A step-targeted *mid-run* death — the node
+    # crashes right before its first send of the value down-pass, so the
+    # retry/NACK machinery plus packet racing must carry the round — and
+    # two persistent straggler links (SparCML's favourite adversary).
+    from ..faults import FaultPlan, LinkFault
+
+    def make_rep_midrun(seed):
+        plan = FaultPlan().kill_at_step(1, "down", 1)
+        cluster = cal.make_cluster(
+            dataset32, m=64, latency_sigma=latency_sigma, failures=plan, seed=seed
+        )
+        net = ReplicatedKylix(cluster, degrees32, replication=2, strict_coverage=False)
+        return cluster, net
+
+    cfg, red = averaged(make_rep_midrun, spec32, vals32)
+    cols.append(Table1Column("8x4 replicated=2, mid-run death", 1, cfg, red))
+
+    def make_rep_straggler(seed):
+        plan = (
+            FaultPlan(seed=seed)
+            .with_rule(LinkFault(src=3, delay=2.0e-3))
+            .with_rule(LinkFault(src=9, delay=2.0e-3))
+        )
+        cluster = cal.make_cluster(
+            dataset32, m=64, latency_sigma=latency_sigma, failures=plan, seed=seed
+        )
+        net = ReplicatedKylix(cluster, degrees32, replication=2, strict_coverage=False)
+        return cluster, net
+
+    cfg, red = averaged(make_rep_straggler, spec32, vals32)
+    cols.append(Table1Column("8x4 replicated=2, 2 straggler links", 0, cfg, red))
     return Table1Result(cols)
 
 

@@ -89,7 +89,12 @@ class Cluster:
         self.creation_order = creation_order
         self.engine = Engine(record_trace=record_trace)
         self.stats = TrafficStats()
-        self.failures = failures or FailurePlan.none()
+        # `is not None` (not truthiness): a FaultPlan carrying only
+        # message-fault rules has len() == 0 but must still be installed.
+        self.failures = failures if failures is not None else FailurePlan.none()
+        # Install-time validation: a plan naming nodes outside the cluster
+        # is a test bug that used to silently inject nothing.
+        self.failures.validate(num_nodes)
         self.fabric = Fabric(
             self.engine,
             params,
@@ -100,6 +105,11 @@ class Cluster:
             stats=self.stats,
         )
         self.fabric.set_liveness(lambda i: self.failures.is_alive(i, self.engine.now))
+        if hasattr(self.failures, "decide"):
+            # A FaultPlan doubles as the fabric's message-fault/step-kill
+            # oracle, and enables the sent-payload cache that serves NACK
+            # retransmission requests.
+            self.fabric.set_fault_plan(self.failures)
         self.node_speeds = node_speeds or [1.0] * num_nodes
         self.compute_seconds = [0.0] * num_nodes
         self._nodes = [SimNode(self, i) for i in range(num_nodes)]
@@ -109,7 +119,7 @@ class Cluster:
         return self._nodes[rank]
 
     def is_alive(self, rank: int) -> bool:
-        return self.failures.is_alive(rank, self.engine.now)
+        return self.failures.is_alive(rank, self.engine.now) and not self.fabric.is_crashed(rank)
 
     @property
     def live_nodes(self) -> list[int]:
@@ -177,9 +187,21 @@ class Cluster:
 
         while self.engine._queue and not settled():
             self.engine.step()
-        for rank, p in procs.items():
-            if p.triggered and p.ok is False:
-                raise p.value
+        failures = [
+            (rank, p.value) for rank, p in procs.items()
+            if p.triggered and p.ok is False
+        ]
+        if failures:
+            # Under fault injection a single death cascades: nodes stuck
+            # behind the detector also time out, blaming live-but-stuck
+            # peers.  Surface the root cause — an error naming a slot
+            # that is actually dead — ahead of the cascade errors.
+            def names_dead_slot(item) -> int:
+                slot = getattr(item[1], "slot", None)
+                return 0 if slot is not None and not self.is_alive(slot) else 1
+
+            failures.sort(key=names_dead_slot)
+            raise failures[0][1]
         from ..simul import SimulationError
 
         for rank, p in procs.items():

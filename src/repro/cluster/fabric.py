@@ -37,7 +37,12 @@ __all__ = ["Message", "Fabric"]
 
 @dataclass(frozen=True)
 class Message:
-    """One delivered message, as seen by the receiving protocol code."""
+    """One delivered message, as seen by the receiving protocol code.
+
+    ``seq`` numbers the messages on one (src, dst, phase, layer) link in
+    send order; duplicates (injected or replica race copies) share the
+    original's sequence number, which is what receivers dedupe on.
+    """
 
     src: int
     dst: int
@@ -48,6 +53,7 @@ class Message:
     delivered_at: float
     phase: str = ""
     layer: int = -1
+    seq: int = 0
 
 
 class _Nic:
@@ -109,10 +115,29 @@ class Fabric:
         )
         self._alive: Callable[[int], bool] = lambda node: True
         self.dropped = 0
+        # -- fault-injection state (inert unless a FaultPlan is installed) --
+        self._fault_plan = None
+        self._seq_counters: dict = {}  # (src, dst, canonical phase, layer) -> next seq
+        self._sent_cache: dict = {}  # (src, dst, tag) -> retransmission state
+        self._crashed: set = set()  # step-killed nodes
+        self.injected = {"dropped": 0, "duplicated": 0, "delayed": 0, "resent": 0}
 
     def set_liveness(self, fn: Callable[[int], bool]) -> None:
         """Install the failure oracle (see :mod:`repro.cluster.failures`)."""
         self._alive = fn
+
+    def set_fault_plan(self, plan) -> None:
+        """Install a :class:`~repro.faults.FaultPlan` as the message-fault
+        and step-kill oracle.  ``None`` uninstalls."""
+        self._fault_plan = plan
+        if plan is not None:
+            from ..faults.plan import canonical_phase
+
+            self._canon = canonical_phase
+
+    def is_crashed(self, node: int) -> bool:
+        """True once a step-kill crash point has fired for ``node``."""
+        return node in self._crashed
 
     # -- sending -------------------------------------------------------------
     def send(
@@ -136,9 +161,31 @@ class Fabric:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         now = self.engine.now
-        if not self._alive(src) or not self._alive(dst):
+        plan = self._fault_plan
+        if plan is not None and src != dst and src not in self._crashed:
+            # Step-kill crash point: the node dies immediately *before*
+            # its first send at the targeted (phase, layer), so that send
+            # and everything after it is lost.
+            sk = plan.step_kill_for(src)
+            if sk is not None and sk == (self._canon(phase), layer):
+                self._crashed.add(src)
+        if (
+            src in self._crashed
+            or dst in self._crashed
+            or not self._alive(src)
+            or not self._alive(dst)
+        ):
             self.dropped += 1
             return float("inf")
+
+        decision = None
+        seq = 0
+        if plan is not None and src != dst:
+            key = (src, dst, self._canon(phase), layer)
+            seq = self._seq_counters.get(key, 0)
+            self._seq_counters[key] = seq + 1
+            self._sent_cache[(src, dst, tag)] = (payload, nbytes, phase, layer, seq)
+            decision = plan.decide(src, dst, phase, layer, seq)
 
         self.stats.record(src, dst, nbytes, phase=phase, layer=layer)
 
@@ -180,18 +227,77 @@ class Fabric:
         else:
             deliver = arrived
 
-        self._deliver_at(deliver, src, dst, tag, payload, nbytes, now, phase, layer)
+        # Injected message faults (after the sender paid its costs — a
+        # network-dropped packet still burned CPU and egress, and the
+        # latency stream stays aligned with fault-free runs).
+        if decision is not None:
+            if decision.drop:
+                self.injected["dropped"] += 1
+                return float("inf")
+            if decision.delay > 0.0:
+                self.injected["delayed"] += 1
+                deliver += decision.delay
+            for k in range(decision.duplicates):
+                self.injected["duplicated"] += 1
+                self._deliver_at(
+                    deliver + (k + 1) * self.params.base_latency,
+                    src, dst, tag, payload, nbytes, now, phase, layer, seq,
+                )
+
+        self._deliver_at(deliver, src, dst, tag, payload, nbytes, now, phase, layer, seq)
         return deliver
 
-    def _deliver_at(self, when, src, dst, tag, payload, nbytes, sent, phase, layer):
+    def _deliver_at(self, when, src, dst, tag, payload, nbytes, sent, phase, layer, seq=0):
         def deliver():
-            if not self._alive(dst):
+            if dst in self._crashed or not self._alive(dst):
                 self.dropped += 1
                 return
-            msg = Message(src, dst, tag, payload, nbytes, sent, self.engine.now, phase, layer)
+            msg = Message(
+                src, dst, tag, payload, nbytes, sent, self.engine.now, phase, layer, seq
+            )
             self.mailboxes[dst].put(msg)
 
         self.engine.schedule_at(max(when, self.engine.now), deliver)
+
+    def request_resend(self, requester: int, src: int, tag: Any, attempt: int = 1) -> bool:
+        """Model a NACK from ``requester``: redeliver the cached payload
+        of the (src → requester, tag) message, if the sender is still up.
+
+        The retransmission pays a deterministic request/response round
+        trip (NACKs are tiny, so no jitter draw — the shared latency
+        stream stays aligned), and re-runs the fault oracle with the
+        bumped ``attempt`` so a resend can itself be dropped or delayed.
+        Tri-state return: ``True`` — a resend was scheduled (it may itself
+        be fault-dropped; the requester retries); ``False`` — the sender
+        is dead or crashed, nothing will ever come; ``None`` — the sender
+        is alive but has not reached that send yet (it may be burning its
+        own retry budget upstream), so the requester should keep waiting
+        without charging its retry budget.
+        """
+        if src in self._crashed or not self._alive(src):
+            return False
+        entry = self._sent_cache.get((src, requester, tag))
+        if entry is None:
+            return None
+        payload, nbytes, phase, layer, seq = entry
+        self.injected["resent"] += 1
+        self.stats.record(src, requester, nbytes, phase=phase, layer=layer)
+        delay = (
+            2.0 * self.params.base_latency
+            + self.params.message_overhead
+            + nbytes / self.params.bandwidth
+        )
+        if self._fault_plan is not None:
+            decision = self._fault_plan.decide(src, requester, phase, layer, seq, attempt)
+            if decision.drop:
+                self.injected["dropped"] += 1
+                return True
+            delay += decision.delay
+        self._deliver_at(
+            self.engine.now + delay, src, requester, tag, payload,
+            nbytes, self.engine.now, phase, layer, seq,
+        )
+        return True
 
     # -- receiving -------------------------------------------------------------
     def recv(self, node: int, *, tag: Any = None, src: Optional[int] = None):

@@ -34,14 +34,30 @@ class FailurePlan:
         return cls({int(n): 0.0 for n in nodes})
 
     def kill(self, node: int, at: float = 0.0) -> "FailurePlan":
+        """Return a **new** plan with ``node`` dying at time ``at``.
+
+        Plans are value-like: once installed in a :class:`Cluster` the
+        fabric's liveness closure holds a reference, so mutating in place
+        would change failure behaviour mid-run.  Chaining still reads
+        naturally: ``FailurePlan.none().kill(3).kill(5, at=2.0)``.
+        """
         if at < 0:
             raise ValueError("death time must be >= 0")
-        self._deaths[int(node)] = float(at)
-        return self
+        deaths = dict(self._deaths)
+        deaths[int(node)] = float(at)
+        return FailurePlan(deaths)
 
     def is_alive(self, node: int, now: float) -> bool:
         t = self._deaths.get(node)
         return t is None or now < t
+
+    def validate(self, num_nodes: int) -> None:
+        """Check every targeted node id exists in a ``num_nodes`` cluster."""
+        for node in self._deaths:
+            if not 0 <= node < num_nodes:
+                raise ValueError(
+                    f"failure plan targets node {node}, cluster has {num_nodes}"
+                )
 
     @property
     def dead_nodes(self) -> list[int]:

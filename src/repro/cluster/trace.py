@@ -128,7 +128,7 @@ def attach_tracer(cluster) -> TraceRecorder:
     fabric = cluster.fabric
     original = fabric._deliver_at
 
-    def traced(when, src, dst, tag, payload, nbytes, sent, phase, layer):
+    def traced(when, src, dst, tag, payload, nbytes, sent, phase, layer, seq=0):
         def hook():
             # Record with the actual delivery clock.
             recorder.records.append(
@@ -143,7 +143,7 @@ def attach_tracer(cluster) -> TraceRecorder:
                 )
             )
 
-        original(when, src, dst, tag, payload, nbytes, sent, phase, layer)
+        original(when, src, dst, tag, payload, nbytes, sent, phase, layer, seq)
         cluster.engine.schedule_at(max(when, cluster.engine.now), hook)
 
     fabric._deliver_at = traced

@@ -1,0 +1,49 @@
+"""Typed errors for the fault-injection and recovery layer.
+
+This module is import-leaf (no repro dependencies) so any layer —
+``simul``, ``cluster``, ``allreduce``, ``net`` — can raise these without
+risking an import cycle, mirroring :mod:`repro.verify.errors`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["PeerFailedError", "FaultPlanError"]
+
+
+class FaultPlanError(ValueError):
+    """An ill-formed fault plan (bad probabilities, out-of-range targets)."""
+
+
+class PeerFailedError(RuntimeError):
+    """A peer (or every replica of a logical slot) stopped responding.
+
+    Raised by the deadline/retry layer — in the simulator when bounded
+    retransmission is exhausted, and by the real-process backend when a
+    worker process dies or a receive deadline expires.  Unlike the bare
+    deadlock errors it replaces, it fires in *bounded* time and names the
+    unresponsive slot so callers can act on it (evict, re-replicate,
+    degrade).
+
+    Attributes
+    ----------
+    slot:
+        The unresponsive logical slot (or physical rank when the caller
+        has no replication layer).
+    phase / layer:
+        Protocol position where the deadline expired, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        slot: Optional[int] = None,
+        phase: Optional[str] = None,
+        layer: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.slot = slot
+        self.phase = phase
+        self.layer = layer

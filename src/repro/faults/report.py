@@ -1,0 +1,120 @@
+"""Degraded-completion accounting.
+
+When a key range is unrecoverable — every replica of a slot dead, or
+retries exhausted — the protocols can still finish with the surviving
+data.  The :class:`CoverageReport` is the honest receipt for that run:
+exactly which raw key indices each rank did *not* receive, which protocol
+members were implicated, and what fraction of each rank's requested
+``in_i`` was satisfied.  Tests assert the lost-index sets match the
+injected unrecoverable ranges bit-for-bit, so this is an oracle, not a
+log line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["LossRecord", "CoverageReport"]
+
+
+@dataclass(frozen=True)
+class LossRecord:
+    """One observed loss event: ``rank`` missed data via ``member``."""
+
+    rank: int
+    member: int
+    phase: str
+    layer: int
+
+
+@dataclass
+class CoverageReport:
+    """What a degraded allreduce actually delivered.
+
+    Attributes
+    ----------
+    total_ranks:
+        Cluster size the protocol ran over.
+    in_sizes:
+        Per-rank requested input-index counts (``len(in_i)``).
+    lost_indices:
+        Per-rank sorted arrays of raw key ids whose reduced values never
+        arrived (the corresponding output entries hold the reduction
+        identity).  Ranks with full coverage are omitted.
+    dead_members:
+        Protocol members (logical slots or physical nodes) implicated in
+        at least one loss.
+    losses:
+        Individual loss events, for diagnosing *where* coverage broke.
+    """
+
+    total_ranks: int
+    in_sizes: Dict[int, int]
+    lost_indices: Dict[int, np.ndarray] = field(default_factory=dict)
+    dead_members: Tuple[int, ...] = ()
+    losses: Tuple[LossRecord, ...] = ()
+
+    def __post_init__(self):
+        self.lost_indices = {
+            int(r): np.unique(np.asarray(ix, dtype=np.int64))
+            for r, ix in self.lost_indices.items()
+            if len(ix)
+        }
+        self.dead_members = tuple(sorted(set(int(m) for m in self.dead_members)))
+
+    # -- the three quantities the issue names ------------------------------
+    @property
+    def complete(self) -> bool:
+        return not self.lost_indices
+
+    @property
+    def affected_ranks(self) -> List[int]:
+        return sorted(self.lost_indices)
+
+    def satisfied_fraction(self, rank: int) -> float:
+        """Fraction of ``in_i`` that received its reduced value."""
+        total = self.in_sizes.get(rank, 0)
+        if total == 0:
+            return 1.0
+        return 1.0 - len(self.lost_indices.get(rank, ())) / total
+
+    @property
+    def min_satisfied_fraction(self) -> float:
+        return min(
+            (self.satisfied_fraction(r) for r in range(self.total_ranks)),
+            default=1.0,
+        )
+
+    def lost_ranges(self) -> List[Tuple[int, int]]:
+        """Lost raw-key ids across all ranks, merged into [lo, hi) runs."""
+        if not self.lost_indices:
+            return []
+        union = np.unique(np.concatenate(list(self.lost_indices.values())))
+        breaks = np.flatnonzero(np.diff(union) > 1)
+        starts = np.concatenate(([0], breaks + 1))
+        ends = np.concatenate((breaks, [union.size - 1]))
+        return [(int(union[s]), int(union[e]) + 1) for s, e in zip(starts, ends)]
+
+    def lost_union(self) -> np.ndarray:
+        """Sorted union of lost raw-key ids across all ranks."""
+        if not self.lost_indices:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(list(self.lost_indices.values())))
+
+    def summary(self) -> str:
+        if self.complete:
+            return f"coverage complete: all {self.total_ranks} ranks satisfied"
+        ranges = ", ".join(f"[{lo},{hi})" for lo, hi in self.lost_ranges())
+        worst = self.min_satisfied_fraction
+        return (
+            f"coverage degraded: {len(self.affected_ranks)}/{self.total_ranks} "
+            f"ranks affected, lost key ranges {ranges}, "
+            f"dead members {list(self.dead_members)}, "
+            f"worst satisfied fraction {worst:.4f}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CoverageReport<{self.summary()}>"

@@ -13,19 +13,42 @@ one downward pass, §III) and supports the same reduction operators as
 the simulator.  It is built for correctness and portability, not
 throughput: spawning processes costs ~100 ms each, and a single-core
 host serialises them — use the simulator for performance studies.
+
+Fault tolerance (this mirrors the simulator's fabric, see
+:mod:`repro.faults`):
+
+* A :class:`~repro.faults.FaultPlan` wraps the transport: sender threads
+  consult ``plan.decide`` per message and drop, duplicate, or delay
+  (``time.sleep``) accordingly.  Each link carries exactly one logical
+  message per (kind, layer), so the decision inputs — and therefore the
+  fault schedule — are *identical* to a simulator run of the combined
+  protocol with the same plan.
+* Receivers dedupe by (peer, kind, layer) and enforce per-attempt
+  deadlines with exponential backoff; a missing message triggers a NACK
+  that the sender services from its send cache.  Exhausted retries, a
+  peer EOF, or a reaped child raise :class:`~repro.faults.PeerFailedError`
+  in bounded time — never a hang — and the parent terminates + joins all
+  workers on every exit path (no zombie processes).
+* ``kill_at_step`` crash points are honoured with ``os._exit`` right
+  before the worker's first send at the targeted (phase, layer).  Only
+  at-start deaths (``kill(node)``) and step-kills are supported here:
+  there is no simulated clock, so time-based deaths are rejected.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import threading
-from typing import Dict, Mapping, Optional, Sequence
+import time
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..allreduce import ReduceSpec
 from ..allreduce.base import CoverageError, reduction_identity, reduction_ufunc
 from ..allreduce.topology import ButterflyTopology
+from ..faults import FaultPlan, PeerFailedError, RetryPolicy
 from ..sparse import (
     IndexHasher,
     KeyRange,
@@ -36,6 +59,173 @@ from ..sparse import (
 from ..verify.errors import ProtocolInvariantError
 
 __all__ = ["LocalKylix"]
+
+#: Wall-clock base for the first receive attempt (seconds).  Local pipes
+#: are fast; the backoff ladder covers slow CI machines.
+_LOCAL_BASE_TIMEOUT = 0.25
+#: Poll granularity for pipe and result-queue waits.
+_POLL = 0.005
+
+
+class _Transport:
+    """One worker's fault-wrapped view of its pipes.
+
+    Owns the per-connection send locks (a ``Connection`` is not
+    thread-safe), the send cache that services NACKs, and the receive
+    inbox with (peer, kind, layer) dedupe.
+    """
+
+    def __init__(self, rank, conns, plan):
+        self.rank = rank
+        self.conns = conns
+        self.plan = plan
+        self.locks = {m: threading.Lock() for m in conns}
+        self.sent: Dict[Tuple[int, str, int], Any] = {}
+        self.inbox: Dict[Tuple[int, str, int], Any] = {}
+        self.seen: set = set()
+        self.closed: set = set()
+        self.duplicates_dropped = 0
+        self.senders: list = []
+
+    # -- sending -----------------------------------------------------------
+    def _transmit(self, member, kind, layer, part, attempt=0):
+        """Runs on a sender thread: consult the fault oracle, then send."""
+        decision = None
+        if self.plan is not None:
+            # seq is 0: each link carries one logical message per
+            # (kind, layer) — same inputs as the simulator's counters.
+            decision = self.plan.decide(self.rank, member, kind, layer, 0, attempt)
+        if decision is not None and decision.delay > 0.0:
+            time.sleep(decision.delay)
+        copies = 1 + (decision.duplicates if decision is not None else 0)
+        if decision is not None and decision.drop:
+            copies -= 1
+        frame = ("msg", kind, layer, 0, part)
+        for _ in range(copies):
+            try:
+                with self.locks[member]:
+                    self.conns[member].send(frame)
+            except (BrokenPipeError, OSError):  # peer already gone
+                return
+
+    def post(self, member, kind, layer, part, attempt=0):
+        """Cache + send on a background thread (deadlock-free exchange)."""
+        self.sent[(member, kind, layer)] = part
+        t = threading.Thread(
+            target=self._transmit, args=(member, kind, layer, part, attempt)
+        )
+        t.daemon = True
+        t.start()
+        self.senders.append(t)
+
+    def join_senders(self, budget=5.0):
+        deadline = time.monotonic() + budget
+        for t in self.senders:
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+        self.senders = []
+
+    # -- receiving ---------------------------------------------------------
+    def _dispatch(self, member, obj):
+        if obj[0] == "msg":
+            _, kind, layer, _seq, part = obj
+            key = (member, kind, layer)
+            if key in self.seen:
+                self.duplicates_dropped += 1
+                return
+            self.seen.add(key)
+            self.inbox[key] = part
+        elif obj[0] == "nack":
+            _, kind, layer, attempt = obj
+            part = self.sent.get((member, kind, layer))
+            if part is not None:
+                # Service the resend off-thread; the retransmission gets
+                # an independent fault draw (attempt bumps the oracle).
+                t = threading.Thread(
+                    target=self._transmit, args=(member, kind, layer, part, attempt)
+                )
+                t.daemon = True
+                t.start()
+                self.senders.append(t)
+            # else: we have not reached that send yet; the peer re-NACKs.
+        else:
+            raise ProtocolInvariantError(
+                f"rank {self.rank}: unknown frame {obj[0]!r} from {member}",
+                invariant="message-order",
+            )
+
+    def pump(self, members=None):
+        """Drain every readable connection once; returns peers hit EOF."""
+        dead = []
+        for member in self.conns if members is None else members:
+            if member in self.closed:
+                continue
+            conn = self.conns[member]
+            try:
+                while conn.poll(0):
+                    self._dispatch(member, conn.recv())  # lint: ok — poll-guarded
+            except (EOFError, OSError):
+                self.closed.add(member)
+                dead.append(member)
+        return dead
+
+    def collect(self, members, kind, layer, retry):
+        """Block until one (kind, layer) message from every member.
+
+        Per-attempt deadlines with exponential backoff; deadline misses
+        NACK every missing peer; a peer that hits EOF, or outlives the
+        retry budget, raises :class:`PeerFailedError` — bounded time.
+        """
+        wanted = [m for m in members if m != self.rank]
+        attempt = 0
+        deadline = time.monotonic() + retry.local_timeout(0)
+        while True:
+            missing = [m for m in wanted if (m, kind, layer) not in self.inbox]
+            if not missing:
+                return {m: self.inbox[(m, kind, layer)] for m in wanted}
+            eof = self.pump(missing)
+            for m in eof:
+                if (m, kind, layer) not in self.inbox:
+                    raise PeerFailedError(
+                        f"local kylix rank {self.rank}: peer {m} closed its "
+                        f"pipe during {kind} layer {layer}",
+                        slot=m, phase=kind, layer=layer,
+                    )
+            if time.monotonic() >= deadline:
+                if attempt >= retry.max_retries:
+                    raise PeerFailedError(
+                        f"local kylix rank {self.rank}: no {kind} layer "
+                        f"{layer} message from {missing} within the retry "
+                        f"budget ({retry.max_retries} resend requests)",
+                        slot=missing[0], phase=kind, layer=layer,
+                    )
+                attempt += 1
+                for m in missing:
+                    try:
+                        with self.locks[m]:
+                            self.conns[m].send(("nack", kind, layer, attempt))
+                    except (BrokenPipeError, OSError):
+                        self.closed.add(m)
+                deadline = time.monotonic() + retry.local_timeout(attempt)
+            time.sleep(_POLL)
+
+    def linger(self, done_evt, budget):
+        """After finishing: keep servicing NACKs until everyone is done."""
+        deadline = time.monotonic() + budget
+        while not done_evt.is_set() and time.monotonic() < deadline:
+            self.pump()
+            if done_evt.wait(timeout=0.02):  # lint: ok — bounded wait
+                break
+        self.join_senders(budget=1.0)
+
+
+def _local_timeout(retry: RetryPolicy, attempt: int) -> float:
+    base = retry.base_timeout if retry.base_timeout is not None else _LOCAL_BASE_TIMEOUT
+    return base * (retry.backoff ** attempt)
+
+
+# RetryPolicy is a frozen dataclass shared with the simulator; the local
+# backend derives wall-clock deadlines instead of netmodel envelopes.
+RetryPolicy.local_timeout = _local_timeout
 
 
 def _worker(
@@ -51,9 +241,24 @@ def _worker(
     values: np.ndarray,
     conns: Dict[int, "mp.connection.Connection"],
     result_q: "mp.Queue",
+    plan: Optional[FaultPlan],
+    retry: RetryPolicy,
+    done_evt,
+    linger_budget: float,
 ) -> None:
     """One node's blocking protocol run (executed in a child process)."""
+    step_kill = plan.step_kill_for(rank) if plan is not None else None
+    if plan is not None and not plan.is_alive(rank, 0.0):
+        os._exit(1)  # dead from the start: no result, no goodbye
+
+    def maybe_crash(kind: str, layer: int) -> None:
+        # Crash point: die immediately before the first send at the
+        # targeted (phase, layer) — same semantics as the simulator.
+        if step_kill is not None and step_kill == (kind, layer):
+            os._exit(1)
+
     try:
+        net = _Transport(rank, conns, plan)
         hasher = MultiplicativeHasher(multiplier)
         dtype = np.dtype(dtype_str)
         ufunc = reduction_ufunc(op)
@@ -66,7 +271,7 @@ def _worker(
         ufunc.at(v, out_inv, np.asarray(values, dtype=dtype))
 
         rng = KeyRange.full(hasher.key_space)
-        layers = []  # (group, pos, in_slices, in_maps, in_prev_size)
+        layers = []  # (layer, group, pos, in_slices, in_maps, in_prev_size)
         for layer in range(1, topo.num_layers + 1):
             d = topo.degrees[layer - 1]
             group = topo.group(rank, layer)
@@ -74,13 +279,11 @@ def _worker(
             out_slices = split_sorted(out_keys, rng, d)
             in_slices = split_sorted(in_keys, rng, d)
 
-            # Send all parts on background threads (deadlock-free exchange).
+            maybe_crash("down", layer)
             # Each message is tagged with the *sender's* group position so
-            # the receiver can index its merge maps.  Threads are joined
-            # before the layer ends: a Connection is not thread-safe, and
-            # the up pass will reuse the same pipe — per-connection message
-            # order must stay down-then-up.
-            senders = []
+            # the receiver can index its merge maps.  Sends run on
+            # background threads (deadlock-free exchange) and are joined
+            # before the layer ends.
             payloads = {}
             for q, member in enumerate(group):
                 part = (
@@ -92,38 +295,11 @@ def _worker(
                 if member == rank:
                     payloads[pos] = part
                 else:
-                    t = threading.Thread(
-                        target=conns[member].send, args=(("down", layer, part),)
-                    )
-                    t.daemon = True
-                    t.start()
-                    senders.append(t)
+                    net.post(member, "down", layer, part)
 
-            # Receive one down-part per neighbour.  A fast neighbour may
-            # already have queued its *up* message behind its down message,
-            # so each connection is read at most once per phase.
-            received = {rank}
-            while len(payloads) < d:
-                for member in group:
-                    if member in received:
-                        continue
-                    conn = conns[member]
-                    if conn.poll(0.005):
-                        kind, lyr, part = conn.recv()
-                        if kind != "down" or lyr != layer:
-                            raise ProtocolInvariantError(
-                                f"rank {rank}: expected down-pass message for "
-                                f"layer {layer}, got {kind!r} layer {lyr} — "
-                                "per-connection message order violated",
-                                invariant="message-order",
-                            )
-                        payloads[part[0]] = part
-                        received.add(member)
-                        if len(payloads) == d:
-                            break
-
-            for t in senders:
-                t.join()
+            for member, part in net.collect(group, "down", layer, retry).items():
+                payloads[part[0]] = part
+            net.join_senders()
 
             out_parts = [payloads[q][1] for q in range(d)]
             in_parts = [payloads[q][2] for q in range(d)]
@@ -134,7 +310,7 @@ def _worker(
                 m = out_maps[q]
                 partial[m] = ufunc(partial[m], payloads[q][3])
 
-            layers.append((group, pos, in_slices, in_maps, in_keys.size))
+            layers.append((layer, group, pos, in_slices, in_maps, in_keys.size))
             out_keys, in_keys, v = out_union, in_union, partial
             rng = rng.subrange(pos, d)
 
@@ -156,46 +332,27 @@ def _worker(
             np.copyto(r, v[clipped], where=mask)
 
         # upward allgather
-        for group, pos, in_slices, in_maps, prev_size in reversed(layers):
+        for layer, group, pos, in_slices, in_maps, prev_size in reversed(layers):
             d = len(group)
-            parts = {}
-            senders = []
+            maybe_crash("up", layer)
             for q, member in enumerate(group):
-                payload = (pos, np.ascontiguousarray(r[in_maps[q]]))
-                if member == rank:
-                    parts[pos] = payload[1]
-                else:
-                    t = threading.Thread(
-                        target=conns[member].send, args=(("up", q, payload),)
-                    )
-                    t.daemon = True
-                    t.start()
-                    senders.append(t)
+                if member != rank:
+                    net.post(member, "up", layer, (pos, np.ascontiguousarray(r[in_maps[q]])))
             out = np.zeros((prev_size, *value_shape), dtype=dtype)
-            received_up = {rank}
-            out[in_slices[pos]] = parts[pos]
-            while len(received_up) < d:
-                for member in group:
-                    if member in received_up:
-                        continue
-                    conn = conns[member]
-                    if conn.poll(0.005):
-                        kind, my_q, (sender_pos, vals_part) = conn.recv()
-                        if kind != "up":
-                            raise ProtocolInvariantError(
-                                f"rank {rank}: expected up-pass message, got "
-                                f"{kind!r} — down pass not drained",
-                                invariant="message-order",
-                            )
-                        out[in_slices[sender_pos]] = vals_part
-                        received_up.add(member)
-                        if len(received_up) == d:
-                            break
-            for t in senders:
-                t.join()
+            out[in_slices[pos]] = r[in_maps[pos]]
+            for member, (sender_pos, vals_part) in net.collect(
+                group, "up", layer, retry
+            ).items():
+                out[in_slices[sender_pos]] = vals_part
+            net.join_senders()
             r = out
 
         result_q.put((rank, r[in_inv], None))
+        # Slow peers may still need resends of our final up-parts: stay
+        # around servicing NACKs until the parent flips the done event.
+        net.linger(done_evt, linger_budget)
+    except PeerFailedError as exc:
+        result_q.put((rank, None, ("peer", exc.slot, exc.phase, exc.layer, str(exc))))
     except Exception as exc:  # pragma: no cover - surfaced in the parent
         import traceback
 
@@ -209,6 +366,23 @@ class LocalKylix:
 
         net = LocalKylix(degrees=[2, 2])
         result = net.allreduce(spec, values)   # spawns 4 worker processes
+
+    Parameters
+    ----------
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`.  Message-fault rules
+        and ``kill_at_step`` / at-start deaths are honoured; time-based
+        deaths and recoveries need a simulated clock and are rejected.
+    retry:
+        :class:`~repro.faults.RetryPolicy` for receive deadlines/NACKs.
+        Defaults to ``RetryPolicy()`` with a 0.25 s wall-clock base.
+    timeout:
+        Total wall-clock budget (seconds) for collecting worker results
+        (was a hard-coded 120 s queue timeout).
+    join_timeout:
+        Budget for joining each worker during cleanup; workers still
+        alive after it are terminated, then killed — no zombies on any
+        exit path.
     """
 
     def __init__(
@@ -217,6 +391,10 @@ class LocalKylix:
         *,
         hasher: Optional[IndexHasher] = None,
         strict_coverage: bool = True,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        timeout: float = 120.0,
+        join_timeout: float = 10.0,
     ):
         self.degrees = [int(d) for d in degrees]
         self.size = int(np.prod(self.degrees))
@@ -227,6 +405,24 @@ class LocalKylix:
         else:
             raise ValueError("LocalKylix supports MultiplicativeHasher only")
         self.strict_coverage = strict_coverage
+        if timeout <= 0 or join_timeout <= 0:
+            raise ValueError("timeout and join_timeout must be positive")
+        self.timeout = float(timeout)
+        self.join_timeout = float(join_timeout)
+        if faults is not None:
+            faults.validate(self.size)
+            for node, at in faults._deaths.items():
+                if at > 0.0:
+                    raise ValueError(
+                        f"LocalKylix has no simulated clock: death of node "
+                        f"{node} at t={at} is not executable — use "
+                        f"kill(node) (dead from start) or kill_at_step()"
+                    )
+            if faults._recoveries:
+                raise ValueError("LocalKylix does not support recovery schedules")
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.duplicates_dropped = 0
 
     def allreduce(
         self, spec: ReduceSpec, out_values: Mapping[int, np.ndarray]
@@ -244,41 +440,95 @@ class LocalKylix:
                 conns[i][j] = a
                 conns[j][i] = b
         result_q = ctx.Queue()
-        procs = []
-        for rank in range(self.size):
-            p = ctx.Process(
-                target=_worker,
-                args=(
-                    rank,
-                    self.degrees,
-                    self._multiplier,
-                    spec.op,
-                    self.strict_coverage,
-                    spec.value_shape,
-                    spec.dtype.str,
-                    spec.in_indices[rank],
-                    spec.out_indices[rank],
-                    np.asarray(out_values[rank], dtype=spec.dtype),
-                    conns[rank],
-                    result_q,
-                ),
-            )
-            p.daemon = True
-            p.start()
-            procs.append(p)
+        done_evt = ctx.Event()
+        procs: Dict[int, mp.Process] = {}
+        try:
+            for rank in range(self.size):
+                p = ctx.Process(
+                    target=_worker,
+                    args=(
+                        rank,
+                        self.degrees,
+                        self._multiplier,
+                        spec.op,
+                        self.strict_coverage,
+                        spec.value_shape,
+                        spec.dtype.str,
+                        spec.in_indices[rank],
+                        spec.out_indices[rank],
+                        np.asarray(out_values[rank], dtype=spec.dtype),
+                        conns[rank],
+                        result_q,
+                        self.faults,
+                        self.retry,
+                        done_evt,
+                        self.timeout,
+                    ),
+                )
+                p.daemon = True
+                p.start()
+                procs[rank] = p
+            # The children inherited every pipe end at fork; drop the
+            # parent's copies so a dead worker's peers see EOF instead of
+            # a silently-held-open descriptor.
+            for ends in conns.values():
+                for conn in ends.values():
+                    conn.close()
 
+            return self._collect_results(result_q, procs)
+        finally:
+            done_evt.set()
+            self._reap(procs)
+
+    # -- parent-side supervision ------------------------------------------
+    def _collect_results(self, result_q, procs) -> Dict[int, np.ndarray]:
         results: Dict[int, np.ndarray] = {}
-        error = None
-        for _ in range(self.size):
-            rank, value, err = result_q.get(timeout=120)
-            if err is not None:
-                error = (rank, err)
-                break
-            results[rank] = value
-        for p in procs:
-            p.join(timeout=10)
-            if p.is_alive():  # pragma: no cover - stuck worker
-                p.terminate()
-        if error is not None:
-            raise RuntimeError(f"worker {error[0]} failed: {error[1]}")
+        deadline = time.monotonic() + self.timeout
+        grace_until: Dict[int, float] = {}
+        while len(results) < self.size:
+            try:
+                rank, value, err = result_q.get(timeout=_POLL * 50)
+            except Exception:  # queue.Empty
+                rank = None
+            if rank is not None:
+                if err is not None:
+                    if isinstance(err, tuple) and err[0] == "peer":
+                        _, slot, phase, layer, text = err
+                        raise PeerFailedError(text, slot=slot, phase=phase, layer=layer)
+                    raise RuntimeError(f"worker {rank} failed: {err}")
+                results[rank] = value
+                continue
+            # Heartbeat: reap children that died without posting a result.
+            # A short grace window lets an already-queued result flush.
+            now = time.monotonic()
+            for r, p in procs.items():
+                if r in results or p.exitcode is None:
+                    continue
+                grace_until.setdefault(r, now + 1.0)
+                if now >= grace_until[r]:
+                    raise PeerFailedError(
+                        f"worker {r} exited with code {p.exitcode} before "
+                        "posting a result",
+                        slot=r,
+                    )
+            if now >= deadline:
+                missing = sorted(set(procs) - set(results))
+                raise PeerFailedError(
+                    f"no result from workers {missing} within {self.timeout}s",
+                    slot=missing[0] if missing else None,
+                )
         return results
+
+    def _reap(self, procs) -> None:
+        """Terminate + join every worker; zero live children afterwards."""
+        for p in procs.values():
+            p.join(timeout=self.join_timeout)
+        for p in procs.values():
+            if p.is_alive():
+                p.terminate()
+        for p in procs.values():
+            if p.is_alive():
+                p.join(timeout=1.0)
+            if p.is_alive():  # pragma: no cover - terminate() ignored
+                p.kill()
+                p.join(timeout=1.0)

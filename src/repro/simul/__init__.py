@@ -18,8 +18,11 @@ from .events import (
 )
 from .process import Process
 from .store import FilterStore, Store
+from .waiting import WaitTimeout, wait_with_timeout
 
 __all__ = [
+    "WaitTimeout",
+    "wait_with_timeout",
     "Engine",
     "EmptySchedule",
     "Event",

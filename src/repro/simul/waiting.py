@@ -1,0 +1,61 @@
+"""Timeout-bounded waiting: the primitive under the deadline/retry layer.
+
+The kernel's events either fire or wait forever; a protocol that must
+*give up* on a peer needs to race an event against a timer without losing
+messages in the same simulated instant.  :func:`wait_with_timeout` is that
+race, packaged as a ``yield from``-able helper with two guarantees:
+
+* if the awaited event triggers — even in the *same timestep* the timer
+  fires — its value is returned and nothing is lost;
+* on a genuine timeout, a cancellable waiter (a mailbox ``StoreGet``) is
+  cancelled before raising, so no queued item is silently consumed by a
+  receive nobody is waiting on anymore.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .engine import Engine
+from .events import Event, SimulationError
+
+__all__ = ["WaitTimeout", "wait_with_timeout"]
+
+
+class WaitTimeout(SimulationError):
+    """The awaited event did not fire within the deadline."""
+
+    def __init__(self, seconds: float):
+        super().__init__(f"wait timed out after {seconds:g} simulated seconds")
+        self.seconds = float(seconds)
+
+
+def wait_with_timeout(
+    engine: Engine, event: Event, seconds: float
+) -> Generator[Event, Any, Any]:
+    """Wait for ``event`` at most ``seconds`` of simulated time.
+
+    Use inside a process generator::
+
+        msg = yield from wait_with_timeout(node.engine, node.recv(tag=t), 0.25)
+
+    Returns the event's value, or raises :class:`WaitTimeout`.  A failed
+    event re-raises its exception, exactly as a bare ``yield event`` would.
+    """
+    if seconds < 0:
+        raise SimulationError(f"negative wait deadline {seconds!r}")
+    timer = engine.timeout(seconds)
+    results = yield engine.any_of([event, timer])
+    if event in results:
+        return results[event]
+    # The timer won the race — but the event may still have triggered in
+    # this same timestep (its callback queued behind the timer's).  Taking
+    # its value here instead of cancelling prevents a lost message.
+    if event.triggered:
+        if event.ok:
+            return event.value
+        raise event.value
+    cancel = getattr(event, "cancel", None)
+    if cancel is not None:
+        cancel()
+    raise WaitTimeout(seconds)

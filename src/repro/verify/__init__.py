@@ -28,6 +28,9 @@ __all__ = [
     "Violation",
     "check_topology",
     "check_plans",
+    "check_fault_plan",
+    "check_replication",
+    "check_sequence_numbers",
     "verify_all",
     "assert_valid",
     "format_report",
@@ -47,6 +50,9 @@ _LAZY = {
     "Violation": "invariants",
     "check_topology": "invariants",
     "check_plans": "invariants",
+    "check_fault_plan": "invariants",
+    "check_replication": "invariants",
+    "check_sequence_numbers": "invariants",
     "verify_all": "invariants",
     "assert_valid": "invariants",
     "format_report": "invariants",

@@ -68,6 +68,9 @@ __all__ = [
     "Violation",
     "check_topology",
     "check_plans",
+    "check_fault_plan",
+    "check_replication",
+    "check_sequence_numbers",
     "verify_all",
     "assert_valid",
     "format_report",
@@ -425,6 +428,183 @@ def _check_part_sizes(topo, plans: Mapping[int, object]) -> Iterable[Violation]:
                             node=rank,
                             layer=i,
                         )
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerance invariants
+# ---------------------------------------------------------------------------
+
+
+def check_fault_plan(plan, num_nodes: int) -> List[Violation]:
+    """Static sanity of a :class:`~repro.faults.FaultPlan` against a cluster.
+
+    ``fault-target``
+        Every death, recovery, step-kill, and rule endpoint names a node
+        inside ``[0, num_nodes)``.
+    ``fault-schedule``
+        Recoveries follow their deaths; step-kill phases are canonical
+        (config/down/up); probabilities sit in ``[0, 1]``.
+    """
+    out: List[Violation] = []
+    deaths = getattr(plan, "_deaths", {})
+    for node, at in deaths.items():
+        if not 0 <= node < num_nodes:
+            out.append(
+                Violation(
+                    "fault-target",
+                    f"death targets node {node}, cluster has {num_nodes}",
+                    node=node,
+                )
+            )
+        if at < 0:
+            out.append(
+                Violation("fault-schedule", f"death at negative time {at}", node=node)
+            )
+    for node, at in getattr(plan, "_recoveries", {}).items():
+        death = deaths.get(node)
+        if death is None:
+            out.append(
+                Violation(
+                    "fault-schedule", "recovery without a death", node=node
+                )
+            )
+        elif at <= death:
+            out.append(
+                Violation(
+                    "fault-schedule",
+                    f"recovery at {at} not after death at {death}",
+                    node=node,
+                )
+            )
+    for node, (phase, layer) in getattr(plan, "_step_kills", {}).items():
+        if not 0 <= node < num_nodes:
+            out.append(
+                Violation(
+                    "fault-target",
+                    f"step-kill targets node {node}, cluster has {num_nodes}",
+                    node=node,
+                )
+            )
+        if phase not in ("config", "down", "up"):
+            out.append(
+                Violation(
+                    "fault-schedule",
+                    f"step-kill phase {phase!r} is not canonical "
+                    "(config/down/up)",
+                    node=node,
+                    layer=layer,
+                )
+            )
+    for ridx, rule in enumerate(getattr(plan, "rules", ())):
+        for end in (rule.src, rule.dst):
+            if end is not None and not 0 <= end < num_nodes:
+                out.append(
+                    Violation(
+                        "fault-target",
+                        f"rule {ridx} targets node {end}, cluster has "
+                        f"{num_nodes}",
+                        node=end,
+                    )
+                )
+        for name in ("drop", "duplicate", "delay_prob"):
+            p = getattr(rule, name)
+            if not 0.0 <= p <= 1.0:
+                out.append(
+                    Violation(
+                        "fault-schedule",
+                        f"rule {ridx} {name}={p} outside [0, 1]",
+                    )
+                )
+    return out
+
+
+def check_replication(num_nodes: int, replication: int) -> List[Violation]:
+    """Replica-group structure for an ``s``-way replicated cluster.
+
+    ``replication``
+        ``s >= 1``, ``s`` divides ``m``, and the slot mapping
+        ``p ↦ p mod m/s`` gives every logical slot exactly ``s``
+        physical replicas (the §V layout).
+    """
+    out: List[Violation] = []
+    if replication < 1:
+        out.append(
+            Violation("replication", f"replication {replication} must be >= 1")
+        )
+        return out
+    if num_nodes % replication:
+        out.append(
+            Violation(
+                "replication",
+                f"cluster size {num_nodes} not divisible by replication "
+                f"{replication}",
+            )
+        )
+        return out
+    logical = num_nodes // replication
+    for slot in range(logical):
+        replicas = [slot + r * logical for r in range(replication)]
+        if len(set(p % logical for p in replicas)) != 1 or any(
+            not 0 <= p < num_nodes for p in replicas
+        ):
+            out.append(
+                Violation(
+                    "replication",
+                    f"slot {slot} replicas {replicas} do not all map back "
+                    f"to slot {slot}",
+                    node=slot,
+                )
+            )
+    return out
+
+
+def check_sequence_numbers(fabric) -> List[Violation]:
+    """Post-run audit of the fabric's per-link sequence counters.
+
+    ``seq-dedupe``
+        Counter keys use canonical phases and positive counts, and every
+        cached retransmission entry carries a sequence number below its
+        link counter — the property receiver dedupe relies on.
+    """
+    out: List[Violation] = []
+    counters = getattr(fabric, "_seq_counters", {})
+    for (src, dst, phase, layer), count in counters.items():
+        if phase not in ("config", "down", "up"):
+            out.append(
+                Violation(
+                    "seq-dedupe",
+                    f"link ({src}->{dst}) counter keyed on non-canonical "
+                    f"phase {phase!r}",
+                    node=src,
+                    layer=layer,
+                )
+            )
+        if count <= 0:
+            out.append(
+                Violation(
+                    "seq-dedupe",
+                    f"link ({src}->{dst}) counter is {count}, expected >= 1",
+                    node=src,
+                    layer=layer,
+                )
+            )
+    for (src, dst, _tag), entry in getattr(fabric, "_sent_cache", {}).items():
+        seq = entry[4]
+        matching = [
+            count
+            for (s, d, _p, _l), count in counters.items()
+            if s == src and d == dst
+        ]
+        if not matching or seq >= max(matching):
+            out.append(
+                Violation(
+                    "seq-dedupe",
+                    f"cached payload ({src}->{dst}) has seq {seq} outside "
+                    "any link counter",
+                    node=src,
+                )
+            )
+    return out
 
 
 # ---------------------------------------------------------------------------

@@ -24,7 +24,7 @@ from ..allreduce.base import ReduceSpec
 from ..allreduce.kylix import LayerPlan, NodePlan
 from ..allreduce.topology import ButterflyTopology
 from ..sparse import IndexHasher, KeyRange, MultiplicativeHasher, split_sorted, union_with_maps
-from .invariants import Violation, verify_all
+from .invariants import Violation, check_replication, verify_all
 
 __all__ = [
     "build_plans",
@@ -183,16 +183,37 @@ def verify_stack(
 
 
 def verify_sizes(
-    sizes: Sequence[int], *, n: int = 512, seed: int = 0
+    sizes: Sequence[int],
+    *,
+    n: int = 512,
+    seed: int = 0,
+    replication: Optional[int] = None,
 ) -> Dict[str, List[Violation]]:
     """Sweep :func:`default_stacks` for every cluster size; keyed report.
 
     Keys look like ``"m=16 degrees=4x4"``; an empty list means the stack
-    passed every check.
+    passed every check.  With ``replication=s`` each size is treated as
+    ``m`` *physical* machines hosting ``m/s`` logical slots (§V): the
+    replica-group structure is checked, and the butterfly invariants run
+    over the logical stacks — keys gain an ``s=`` field, e.g.
+    ``"m=16 s=2 degrees=4x2"``.
     """
     report: Dict[str, List[Violation]] = {}
     for m in sizes:
-        for degrees in default_stacks(m):
-            key = f"m={m} degrees={'x'.join(map(str, degrees))}"
-            report[key] = verify_stack(m, degrees, n=n, seed=seed)
+        if replication is None:
+            for degrees in default_stacks(m):
+                key = f"m={m} degrees={'x'.join(map(str, degrees))}"
+                report[key] = verify_stack(m, degrees, n=n, seed=seed)
+            continue
+        s = int(replication)
+        group_violations = check_replication(m, s)
+        if group_violations or m % s:
+            report[f"m={m} s={s}"] = group_violations
+            continue
+        logical = m // s
+        for degrees in default_stacks(logical):
+            key = f"m={m} s={s} degrees={'x'.join(map(str, degrees))}"
+            report[key] = group_violations + verify_stack(
+                logical, degrees, n=n, seed=seed
+            )
     return report

@@ -10,6 +10,7 @@ from .asserts import NoBareAssertRule
 from .determinism import NoUnseededRngRule, NoWallClockRule
 from .dtypes import ExplicitDtypeRule
 from .exports import ModuleExportsRule
+from .timeouts import ExplicitTimeoutRule
 
 __all__ = [
     "RULES",
@@ -18,6 +19,7 @@ __all__ = [
     "NoUnseededRngRule",
     "ExplicitDtypeRule",
     "ModuleExportsRule",
+    "ExplicitTimeoutRule",
 ]
 
 RULES = [
@@ -26,4 +28,5 @@ RULES = [
     NoUnseededRngRule,
     ExplicitDtypeRule,
     ModuleExportsRule,
+    ExplicitTimeoutRule,
 ]

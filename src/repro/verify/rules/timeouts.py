@@ -1,0 +1,53 @@
+"""Rule: blocking waits in ``net/`` must carry an explicit timeout.
+
+The real-execution backend talks to live OS processes; a bare
+``queue.get()``, ``conn.recv()``, ``conn.poll()``, or ``proc.join()``
+blocks forever when a peer dies — exactly the hang class the fault-
+tolerance layer exists to eliminate (a dead worker must surface as
+:class:`~repro.faults.PeerFailedError` in bounded time instead).  Every
+such call must pass a timeout, either as the ``timeout=`` keyword or as
+a positional argument (``poll(0.005)``).  ``Connection.recv`` has no
+timeout parameter at all: guard it with a timed ``poll`` and suppress
+the finding with ``# lint: ok`` on that line, saying so.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..lint import LintFinding, LintRule
+
+__all__ = ["ExplicitTimeoutRule"]
+
+_BLOCKING = ("get", "recv", "poll", "join", "wait")
+
+
+class ExplicitTimeoutRule(LintRule):
+    name = "explicit-timeout"
+    description = (
+        "blocking waits in net/ must pass a timeout (bare get/recv/poll/"
+        "join hang forever when a peer dies)"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("net/")
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in _BLOCKING:
+                continue
+            has_timeout = bool(node.args) or any(
+                kw.arg == "timeout" for kw in node.keywords
+            )
+            if not has_timeout:
+                yield self.finding(
+                    relpath,
+                    node,
+                    f".{func.attr}() without a timeout blocks forever if the "
+                    "peer process died; pass timeout= (or guard recv with a "
+                    "timed poll and suppress with '# lint: ok')",
+                )

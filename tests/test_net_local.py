@@ -109,6 +109,37 @@ def test_validation():
         LocalKylix([2], hasher=IdentityHasher(100))
 
 
+def test_timeout_configuration_validated():
+    with pytest.raises(ValueError):
+        LocalKylix([2], timeout=0)
+    with pytest.raises(ValueError):
+        LocalKylix([2], timeout=-1.0)
+    with pytest.raises(ValueError):
+        LocalKylix([2], join_timeout=0)
+    net = LocalKylix([2], timeout=45.0, join_timeout=3.0)
+    assert net.timeout == 45.0 and net.join_timeout == 3.0
+
+
+def test_fault_plan_validated_at_construction():
+    from repro.faults import FaultPlan, RetryPolicy
+
+    # Time-based deaths and recoveries need a simulated clock.
+    with pytest.raises(ValueError, match="simulated clock"):
+        LocalKylix([2], faults=FaultPlan().kill(1, at=1.0))
+    with pytest.raises(ValueError, match="recovery"):
+        LocalKylix([2], faults=FaultPlan().kill(1).recover(1, at=2.0))
+    # Out-of-range targets are rejected up front, not at run time.
+    with pytest.raises(Exception):
+        LocalKylix([2], faults=FaultPlan().kill(9))
+    # Executable plans and a custom retry policy are accepted.
+    net = LocalKylix(
+        [2],
+        faults=FaultPlan().kill_at_step(1, "down", 1),
+        retry=RetryPolicy(base_timeout=0.5, max_retries=1),
+    )
+    assert net.retry.max_retries == 1
+
+
 def test_agrees_with_simulator():
     """The real-process backend and the simulator compute identical sums."""
     from repro.allreduce import KylixAllreduce

@@ -183,6 +183,7 @@ class TestPackageClean:
             "no-unseeded-rng",
             "explicit-dtype",
             "module-exports",
+            "explicit-timeout",
         }
 
 
