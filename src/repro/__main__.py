@@ -17,6 +17,10 @@ Commands
 ``lint [paths...]``
     Run the repo-specific AST lint over the ``repro`` package (or the
     given files/directories).  Exit 1 on any finding.
+``trace [experiment] [--backend sim|local] [--out FILE] [--metrics FILE]``
+    Run a named experiment fully observed and export a Chrome-trace
+    JSON (open in Perfetto / chrome://tracing) plus, optionally, a flat
+    metrics JSON.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -148,6 +152,60 @@ def _lint(args: list[str]) -> int:
     return 0
 
 
+def _trace(args: list[str]) -> int:
+    import argparse
+    import json
+
+    from .obs import chrome_trace, metrics_json, text_summary, validate_chrome_trace
+    from .obs.runner import BACKENDS, EXPERIMENTS, run_traced
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="run one experiment fully observed; export a Chrome trace "
+        "(load it in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="quickstart",
+        choices=sorted(EXPERIMENTS),
+        help="named workload to run (default: quickstart)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="sim",
+        choices=list(BACKENDS),
+        help="simulated cluster or real OS processes (default: sim)",
+    )
+    parser.add_argument(
+        "--out", default="trace.json", help="Chrome-trace output path"
+    )
+    parser.add_argument(
+        "--metrics", default=None, help="also write flat metrics JSON here"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    opts = parser.parse_args(args)
+
+    obs, info = run_traced(opts.experiment, backend=opts.backend, seed=opts.seed)
+    meta = {k: v for k, v in info.items() if k != "stats"}
+    doc = chrome_trace(obs, meta=meta)
+    errors = validate_chrome_trace(doc)
+    if errors:
+        for e in errors:
+            print(f"trace schema violation: {e}")
+        return 1
+    with open(opts.out, "w") as fh:
+        json.dump(doc, fh)
+    if opts.metrics:
+        with open(opts.metrics, "w") as fh:
+            json.dump(metrics_json(obs), fh, indent=2)
+    print(text_summary(obs))
+    print(f"  exact vs dense reference: {'yes' if info['exact'] else 'NO'}")
+    print(f"  trace: {opts.out} ({len(doc['traceEvents'])} events)"
+          + (f"   metrics: {opts.metrics}" if opts.metrics else ""))
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
@@ -165,7 +223,9 @@ def main(argv: list[str]) -> int:
         return _verify(rest)
     if cmd == "lint":
         return _lint(rest)
-    print(f"unknown command {cmd!r}; try: experiments, demo, info, verify, lint")
+    if cmd == "trace":
+        return _trace(rest)
+    print(f"unknown command {cmd!r}; try: experiments, demo, info, verify, lint, trace")
     return 2
 
 

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..cluster import Cluster, SimNode
 from ..faults import CoverageReport, FaultPlan, LossRecord, PeerFailedError, RetryPolicy
+from ..obs import NULL_OBSERVER
 from ..simul import WaitTimeout, wait_with_timeout
 from ..sparse import (
     IndexHasher,
@@ -169,6 +170,12 @@ class KylixAllreduce:
         self.duplicates_dropped = 0  # retransmit/injected copies deduped by seq
         self._loss_events: List[LossRecord] = []
         self._instance = 0
+
+    @property
+    def _obs(self):
+        """The cluster's observer, or the no-op one when observation is
+        off — instrumentation sites call unconditionally."""
+        return getattr(self.cluster, "obs", None) or NULL_OBSERVER
 
     # ------------------------------------------------------------------
     # Logical/physical mapping hooks (overridden by ReplicatedKylix)
@@ -319,6 +326,9 @@ class KylixAllreduce:
             key = (msg.src, msg.seq)
             if key in seen_seq:
                 self.duplicates_dropped += 1
+                self._obs.counter("faults.duplicates_dropped").inc(
+                    phase=phase, layer=layer
+                )
                 continue
             seen_seq.add(key)
             q = self._pos_from_src(msg.src, pos_of)
@@ -345,7 +355,8 @@ class KylixAllreduce:
         inst = self._instance
         start = self.cluster.now
         self._loss_events = []
-        self.plans = self.cluster.run(self._config_proto, spec, inst)
+        with self._obs.span("configure", phase=PHASE_CONFIG):
+            self.plans = self.cluster.run(self._config_proto, spec, inst)
         self.config_timing = PhaseTiming(start, self.cluster.now)
         return self.plans
 
@@ -397,7 +408,10 @@ class KylixAllreduce:
 
         rng = KeyRange.full(self.hasher.key_space)
         topo = self.topology
+        obs = self._obs
+        phase = PHASE_COMBINED_DOWN if combined else PHASE_CONFIG
         for layer in range(1, topo.num_layers + 1):
+            span = obs.begin(f"{phase} L{layer}", node=rank, phase=phase, layer=layer)
             d = topo.degrees[layer - 1]
             group = topo.group(rank, layer)
             pos = topo.position(rank, layer)
@@ -415,10 +429,8 @@ class KylixAllreduce:
                     )
                     if degrade:
                         payload = payload + (v_mask[out_slices[q]],)
-                    phase = PHASE_COMBINED_DOWN
                 else:
                     payload = (out_keys[out_slices[q]], in_keys[in_slices[q]])
-                    phase = PHASE_CONFIG
                 self._send_to(node, member, payload, tag=tag, phase=phase, layer=layer)
 
             msgs = yield from self._recv_group(
@@ -437,6 +449,9 @@ class KylixAllreduce:
             # Tree-merge the received index sets; memoise position maps.
             out_union, out_maps = union_with_maps(out_parts)
             in_union, in_maps = union_with_maps(in_parts)
+            obs.histogram("config.merge_length").observe(
+                out_union.size, phase=phase, layer=layer
+            )
             if combined:
                 partial = np.full(
                     (out_union.size, *spec.value_shape), identity, dtype=spec.dtype
@@ -473,6 +488,7 @@ class KylixAllreduce:
             )
             out_keys, in_keys = out_union, in_union
             rng = rng.subrange(pos, d)
+            obs.end(span)
 
         # Bottom projection: where each hosted in-key sits in the reduced
         # out union (coverage holes surface here).
@@ -549,7 +565,15 @@ class KylixAllreduce:
         dtype = spec.dtype
         degrade = r_mask is not None
         identity = reduction_identity(spec.op, spec.dtype)
+        obs = self._obs
+        rank = self._logical(node.rank)
         for layer in range(len(plan.layers), 0, -1):
+            span = obs.begin(
+                f"{PHASE_GATHER_UP} L{layer}",
+                node=rank,
+                phase=PHASE_GATHER_UP,
+                layer=layer,
+            )
             lp = plan.layers[layer - 1]
             tag = (self.name, "up", inst, layer)
             for q, member in enumerate(lp.group):
@@ -593,6 +617,7 @@ class KylixAllreduce:
             yield node.compute_bytes(recv_bytes)
             r = out
             r_mask = out_mask
+            obs.end(span)
         return r, r_mask
 
     # ------------------------------------------------------------------
@@ -611,7 +636,8 @@ class KylixAllreduce:
         inst = self._instance
         start = self.cluster.now
         self._loss_events = []
-        results = self.cluster.run(self._reduce_proto, spec, out_values, inst)
+        with self._obs.span("reduce"):
+            results = self.cluster.run(self._reduce_proto, spec, out_values, inst)
         self.last_reduce_timing = PhaseTiming(start, self.cluster.now)
         return self._finish_report(results)
 
@@ -673,7 +699,14 @@ class KylixAllreduce:
         identity = reduction_identity(spec.op, spec.dtype)
         v = self._aligned_out_values(rank, plan, spec, out_values)
         v_mask = np.ones(v.shape[0], dtype=bool) if degrade else None
+        obs = self._obs
         for layer, lp in enumerate(plan.layers, start=1):
+            span = obs.begin(
+                f"{PHASE_REDUCE_DOWN} L{layer}",
+                node=rank,
+                phase=PHASE_REDUCE_DOWN,
+                layer=layer,
+            )
             tag = (self.name, "rd", inst, layer)
             for q, member in enumerate(lp.group):
                 part = v[lp.out_slices[q]]
@@ -714,6 +747,7 @@ class KylixAllreduce:
             yield node.compute_bytes(recv_bytes)
             v = partial
             v_mask = partial_mask
+            obs.end(span)
         return v, v_mask
 
     def _reduce_proto(
@@ -811,9 +845,10 @@ class KylixAllreduce:
             raise RuntimeError("configure() must run before scatter_reduce()")
         self._instance += 1
         start = self.cluster.now
-        raw = self.cluster.run(
-            self._scatter_proto, self.spec, out_values, self._instance
-        )
+        with self._obs.span("scatter_reduce"):
+            raw = self.cluster.run(
+                self._scatter_proto, self.spec, out_values, self._instance
+            )
         self.last_reduce_timing = PhaseTiming(start, self.cluster.now)
         out = {}
         for rank, v in raw.items():
@@ -841,9 +876,10 @@ class KylixAllreduce:
         self._instance += 1
         start = self.cluster.now
         self._loss_events = []
-        raw = self.cluster.run(
-            self._gather_proto, self.spec, values, self._instance
-        )
+        with self._obs.span("allgather_from_bottom"):
+            raw = self.cluster.run(
+                self._gather_proto, self.spec, values, self._instance
+            )
         self.last_reduce_timing = PhaseTiming(start, self.cluster.now)
         raw = self._finish_report(raw)
         return {self._logical(r): v for r, v in raw.items()}
@@ -870,7 +906,8 @@ class KylixAllreduce:
         inst = self._instance
         start = self.cluster.now
         self._loss_events = []
-        raw = self.cluster.run(self._combined_proto, spec, out_values, inst)
+        with self._obs.span("allreduce_combined", phase=PHASE_COMBINED_DOWN):
+            raw = self.cluster.run(self._combined_proto, spec, out_values, inst)
         self.plans = {rank: pr[0] for rank, pr in raw.items()}
         self.last_combined_timing = PhaseTiming(start, self.cluster.now)
         results = self._finish_report({rank: pr[1] for rank, pr in raw.items()})

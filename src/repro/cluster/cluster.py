@@ -53,6 +53,13 @@ class Cluster:
     record_trace:
         When True the engine records ``(time, seq, event)`` for every
         processed event (see :attr:`repro.simul.Engine.trace`).
+    observe:
+        Observability hook.  ``True`` creates a fresh
+        :class:`~repro.obs.Observer`; an :class:`~repro.obs.Observer`
+        instance is adopted as-is.  Either way its clock is bound to the
+        simulated clock, the fabric reports every message to it, and
+        protocol code (Kylix phases) opens spans on it — available as
+        :attr:`obs`.  Default off: unobserved runs pay nothing.
     """
 
     def __init__(
@@ -68,6 +75,7 @@ class Cluster:
         seed: int = 0,
         creation_order: Optional[Sequence[int]] = None,
         record_trace: bool = False,
+        observe: Any = None,
     ):
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
@@ -113,6 +121,25 @@ class Cluster:
         self.node_speeds = node_speeds or [1.0] * num_nodes
         self.compute_seconds = [0.0] * num_nodes
         self._nodes = [SimNode(self, i) for i in range(num_nodes)]
+        self.obs = None
+        if observe:
+            self.enable_observer(observe if observe is not True else None)
+
+    def enable_observer(self, observer=None):
+        """Switch observation on (idempotent); returns the observer.
+
+        Binds the observer's clock to simulated time and installs it as
+        the fabric's message-event sink.  ``attach_tracer`` and the
+        ``observe=`` constructor argument both route through here.
+        """
+        if self.obs is None:
+            from ..obs import Observer
+
+            self.obs = observer if observer is not None else Observer(name="sim")
+            self.obs.set_clock(lambda: self.engine.now)
+            self.obs.name_pid(0, "sim")
+            self.fabric.set_observer(self.obs)
+        return self.obs
 
     # -- access ------------------------------------------------------------
     def node(self, rank: int) -> SimNode:

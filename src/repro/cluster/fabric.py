@@ -95,6 +95,7 @@ class Fabric:
         switch_penalty: float = 0.06,
         seed: int = 0,
         stats: Optional[TrafficStats] = None,
+        observer=None,
     ):
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
@@ -114,6 +115,7 @@ class Fabric:
             1.0 + switch_penalty * over / max(1, hw_threads)
         )
         self._alive: Callable[[int], bool] = lambda node: True
+        self._obs = observer  # repro.obs.Observer; None = observation off
         self.dropped = 0
         # -- fault-injection state (inert unless a FaultPlan is installed) --
         self._fault_plan = None
@@ -125,6 +127,15 @@ class Fabric:
     def set_liveness(self, fn: Callable[[int], bool]) -> None:
         """Install the failure oracle (see :mod:`repro.cluster.failures`)."""
         self._alive = fn
+
+    def set_observer(self, observer) -> None:
+        """Install a :class:`~repro.obs.Observer` as the message-event
+        sink.  Every send (including self-messages and retransmissions)
+        is reported at send time, every completed delivery at delivery
+        time — the same accounting points :class:`TrafficStats` and
+        :class:`~repro.cluster.trace.TraceRecorder` consume, so their
+        numbers and the observer's counters agree exactly."""
+        self._obs = observer
 
     def set_fault_plan(self, plan) -> None:
         """Install a :class:`~repro.faults.FaultPlan` as the message-fault
@@ -188,6 +199,8 @@ class Fabric:
             decision = plan.decide(src, dst, phase, layer, seq)
 
         self.stats.record(src, dst, nbytes, phase=phase, layer=layer)
+        if self._obs is not None:
+            self._obs.message_sent(src, dst, nbytes, phase=phase, layer=layer)
 
         if src == dst:
             # Local hand-off: no network, only a memcpy-scale CPU charge.
@@ -233,12 +246,18 @@ class Fabric:
         if decision is not None:
             if decision.drop:
                 self.injected["dropped"] += 1
+                if self._obs is not None:
+                    self._obs.counter("faults.injected").inc(kind="dropped")
                 return float("inf")
             if decision.delay > 0.0:
                 self.injected["delayed"] += 1
+                if self._obs is not None:
+                    self._obs.counter("faults.injected").inc(kind="delayed")
                 deliver += decision.delay
             for k in range(decision.duplicates):
                 self.injected["duplicated"] += 1
+                if self._obs is not None:
+                    self._obs.counter("faults.injected").inc(kind="duplicated")
                 self._deliver_at(
                     deliver + (k + 1) * self.params.base_latency,
                     src, dst, tag, payload, nbytes, now, phase, layer, seq,
@@ -256,6 +275,10 @@ class Fabric:
                 src, dst, tag, payload, nbytes, sent, self.engine.now, phase, layer, seq
             )
             self.mailboxes[dst].put(msg)
+            if self._obs is not None:
+                self._obs.message_delivered(
+                    src, dst, nbytes, sent, self.engine.now, phase, layer
+                )
 
         self.engine.schedule_at(max(when, self.engine.now), deliver)
 
@@ -282,6 +305,9 @@ class Fabric:
         payload, nbytes, phase, layer, seq = entry
         self.injected["resent"] += 1
         self.stats.record(src, requester, nbytes, phase=phase, layer=layer)
+        if self._obs is not None:
+            self._obs.message_sent(src, requester, nbytes, phase=phase, layer=layer)
+            self._obs.counter("faults.resent").inc(phase=phase, layer=layer)
         delay = (
             2.0 * self.params.base_latency
             + self.params.message_overhead
@@ -291,6 +317,8 @@ class Fabric:
             decision = self._fault_plan.decide(src, requester, phase, layer, seq, attempt)
             if decision.drop:
                 self.injected["dropped"] += 1
+                if self._obs is not None:
+                    self._obs.counter("faults.injected").inc(kind="dropped")
                 return True
             delay += decision.delay
         self._deliver_at(

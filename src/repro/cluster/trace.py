@@ -3,10 +3,14 @@
 The paper attributes its 64-node communication overhead to "lack of
 synchronization … absorbed in the communication time measurements" — a
 claim you can only investigate with a message-level timeline.
-:class:`TraceRecorder` hooks the fabric and records one row per message
-(send time, delivery time, endpoints, size, phase, layer); the summary
-statistics quantify stragglers, per-node load skew, and per-phase
-concurrency, and the timeline can be rendered as text for quick looks.
+:class:`TraceRecorder` is a thin consumer of the :mod:`repro.obs` event
+stream: :func:`attach_tracer` subscribes it to a cluster observer's
+delivered-message events, and it keeps one row per message (send time,
+delivery time, endpoints, size, phase, layer).  The summary statistics
+quantify stragglers, per-node load skew, and per-phase concurrency, and
+the timeline can be rendered as text for quick looks; for a full
+zoomable timeline export the observer itself via
+:func:`repro.obs.chrome_trace`.
 """
 
 from __future__ import annotations
@@ -35,7 +39,7 @@ class TraceRecord:
 
 
 class TraceRecorder:
-    """Collects :class:`TraceRecord` rows from an attached fabric."""
+    """Collects :class:`TraceRecord` rows from a message-event stream."""
 
     def __init__(self) -> None:
         self.records: List[TraceRecord] = []
@@ -53,6 +57,12 @@ class TraceRecorder:
                 layer=msg.layer,
             )
         )
+
+    def consume(self, event) -> None:
+        """Subscriber for :meth:`repro.obs.Observer.subscribe_delivered`
+        (a delivered :class:`~repro.obs.MessageEvent` has the same field
+        names a :class:`~repro.cluster.fabric.Message` does)."""
+        self.record(event)
 
     def clear(self) -> None:
         self.records.clear()
@@ -123,28 +133,12 @@ class TraceRecorder:
 
 
 def attach_tracer(cluster) -> TraceRecorder:
-    """Hook a :class:`TraceRecorder` onto a cluster's fabric deliveries."""
+    """Hook a :class:`TraceRecorder` onto a cluster's delivery stream.
+
+    Enables the cluster's observer (see :meth:`Cluster.enable_observer`)
+    and subscribes a fresh recorder to its delivered-message events —
+    the recorder is a thin consumer; the observer owns the event stream.
+    """
     recorder = TraceRecorder()
-    fabric = cluster.fabric
-    original = fabric._deliver_at
-
-    def traced(when, src, dst, tag, payload, nbytes, sent, phase, layer, seq=0):
-        def hook():
-            # Record with the actual delivery clock.
-            recorder.records.append(
-                TraceRecord(
-                    src=src,
-                    dst=dst,
-                    nbytes=nbytes,
-                    sent_at=sent,
-                    delivered_at=cluster.engine.now,
-                    phase=phase,
-                    layer=layer,
-                )
-            )
-
-        original(when, src, dst, tag, payload, nbytes, sent, phase, layer, seq)
-        cluster.engine.schedule_at(max(when, cluster.engine.now), hook)
-
-    fabric._deliver_at = traced
+    cluster.enable_observer().subscribe_delivered(recorder.consume)
     return recorder

@@ -33,6 +33,18 @@ Fault tolerance (this mirrors the simulator's fabric, see
   before the worker's first send at the targeted (phase, layer).  Only
   at-start deaths (``kill(node)``) and step-kills are supported here:
   there is no simulated clock, so time-based deaths are rejected.
+
+Observability (see :mod:`repro.obs` and ``docs/observability.md``):
+pass ``observe=Observer(...)`` and each worker process builds a private
+wall-clock observer, opens the same per-layer spans the simulator's
+protocol does (``config`` / ``reduce_down`` / ``gather_up``, plus the
+``combined_down`` exchange), maintains the same ``net.*`` traffic
+counters, and ships a snapshot back on its result queue; the parent
+absorbs every snapshot into your observer with one process row per
+worker.  ``CLOCK_MONOTONIC`` is system-wide on Linux, so worker
+timestamps are directly comparable and the exporter's common-epoch
+normalisation aligns the rows.  Delivery latency events are
+simulator-only (the wire frames carry no timestamps).
 """
 
 from __future__ import annotations
@@ -48,7 +60,9 @@ import numpy as np
 from ..allreduce import ReduceSpec
 from ..allreduce.base import CoverageError, reduction_identity, reduction_ufunc
 from ..allreduce.topology import ButterflyTopology
+from ..cluster.node import payload_nbytes
 from ..faults import FaultPlan, PeerFailedError, RetryPolicy
+from ..obs import NULL_OBSERVER, Observer
 from ..sparse import (
     IndexHasher,
     KeyRange,
@@ -75,10 +89,14 @@ class _Transport:
     inbox with (peer, kind, layer) dedupe.
     """
 
-    def __init__(self, rank, conns, plan):
+    def __init__(self, rank, conns, plan, obs=NULL_OBSERVER):
         self.rank = rank
         self.conns = conns
         self.plan = plan
+        self.obs = obs
+        # Fault decisions happen on sender threads; metric dicts are not
+        # thread-safe, so their updates serialise through this lock.
+        self._obs_lock = threading.Lock()
         self.locks = {m: threading.Lock() for m in conns}
         self.sent: Dict[Tuple[int, str, int], Any] = {}
         self.inbox: Dict[Tuple[int, str, int], Any] = {}
@@ -95,6 +113,16 @@ class _Transport:
             # seq is 0: each link carries one logical message per
             # (kind, layer) — same inputs as the simulator's counters.
             decision = self.plan.decide(self.rank, member, kind, layer, 0, attempt)
+        if decision is not None and self.obs.enabled:
+            with self._obs_lock:
+                if decision.drop:
+                    self.obs.counter("faults.injected").inc(kind="dropped")
+                if decision.delay > 0.0:
+                    self.obs.counter("faults.injected").inc(kind="delayed")
+                if decision.duplicates:
+                    self.obs.counter("faults.injected").inc(
+                        decision.duplicates, kind="duplicated"
+                    )
         if decision is not None and decision.delay > 0.0:
             time.sleep(decision.delay)
         copies = 1 + (decision.duplicates if decision is not None else 0)
@@ -131,6 +159,10 @@ class _Transport:
             key = (member, kind, layer)
             if key in self.seen:
                 self.duplicates_dropped += 1
+                with self._obs_lock:
+                    self.obs.counter("faults.duplicates_dropped").inc(
+                        phase=kind, layer=layer
+                    )
                 return
             self.seen.add(key)
             self.inbox[key] = part
@@ -138,6 +170,8 @@ class _Transport:
             _, kind, layer, attempt = obj
             part = self.sent.get((member, kind, layer))
             if part is not None:
+                with self._obs_lock:
+                    self.obs.counter("faults.resent").inc(phase=kind, layer=layer)
                 # Service the resend off-thread; the retransmission gets
                 # an independent fault draw (attempt bumps the oracle).
                 t = threading.Thread(
@@ -182,9 +216,14 @@ class _Transport:
             missing = [m for m in wanted if (m, kind, layer) not in self.inbox]
             if not missing:
                 return {m: self.inbox[(m, kind, layer)] for m in wanted}
-            eof = self.pump(missing)
-            for m in eof:
-                if (m, kind, layer) not in self.inbox:
+            # Drain *every* connection, not just the missing peers': NACKs
+            # for our earlier sends arrive on links this collect is not
+            # waiting on, and leaving them unread deadlocks chains of
+            # stuck groups (each blocked node polls only the peers it
+            # waits for, so nobody services anybody's resend requests).
+            self.pump()
+            for m in missing:
+                if m in self.closed and (m, kind, layer) not in self.inbox:
                     raise PeerFailedError(
                         f"local kylix rank {self.rank}: peer {m} closed its "
                         f"pipe during {kind} layer {layer}",
@@ -245,6 +284,7 @@ def _worker(
     retry: RetryPolicy,
     done_evt,
     linger_budget: float,
+    observe: bool = False,
 ) -> None:
     """One node's blocking protocol run (executed in a child process)."""
     step_kill = plan.step_kill_for(rank) if plan is not None else None
@@ -257,8 +297,12 @@ def _worker(
         if step_kill is not None and step_kill == (kind, layer):
             os._exit(1)
 
+    # A private wall-clock observer; its snapshot rides the result queue
+    # back to the parent, which absorbs it under this worker's pid row.
+    obs = Observer(name=f"worker {rank}") if observe else NULL_OBSERVER
+
     try:
-        net = _Transport(rank, conns, plan)
+        net = _Transport(rank, conns, plan, obs=obs)
         hasher = MultiplicativeHasher(multiplier)
         dtype = np.dtype(dtype_str)
         ufunc = reduction_ufunc(op)
@@ -284,6 +328,9 @@ def _worker(
             # the receiver can index its merge maps.  Sends run on
             # background threads (deadlock-free exchange) and are joined
             # before the layer ends.
+            xchg = obs.begin(
+                f"combined_down L{layer}", node=rank, phase="combined_down", layer=layer
+            )
             payloads = {}
             for q, member in enumerate(group):
                 part = (
@@ -291,6 +338,9 @@ def _worker(
                     out_keys[out_slices[q]],
                     in_keys[in_slices[q]],
                     np.ascontiguousarray(v[out_slices[q]]),
+                )
+                obs.message_sent(
+                    rank, member, payload_nbytes(part), phase="combined_down", layer=layer
                 )
                 if member == rank:
                     payloads[pos] = part
@@ -300,15 +350,25 @@ def _worker(
             for member, part in net.collect(group, "down", layer, retry).items():
                 payloads[part[0]] = part
             net.join_senders()
+            obs.end(xchg)
 
+            merge = obs.begin(f"config L{layer}", node=rank, phase="config", layer=layer)
             out_parts = [payloads[q][1] for q in range(d)]
             in_parts = [payloads[q][2] for q in range(d)]
             out_union, out_maps = union_with_maps(out_parts)
             in_union, in_maps = union_with_maps(in_parts)
+            obs.histogram("config.merge_length").observe(
+                out_union.size, phase="config", layer=layer
+            )
+            obs.end(merge)
+            scatter = obs.begin(
+                f"reduce_down L{layer}", node=rank, phase="reduce_down", layer=layer
+            )
             partial = np.full((out_union.size, *value_shape), identity, dtype=dtype)
             for q in range(d):
                 m = out_maps[q]
                 partial[m] = ufunc(partial[m], payloads[q][3])
+            obs.end(scatter)
 
             layers.append((layer, group, pos, in_slices, in_maps, in_keys.size))
             out_keys, in_keys, v = out_union, in_union, partial
@@ -335,9 +395,16 @@ def _worker(
         for layer, group, pos, in_slices, in_maps, prev_size in reversed(layers):
             d = len(group)
             maybe_crash("up", layer)
+            gather = obs.begin(
+                f"gather_up L{layer}", node=rank, phase="gather_up", layer=layer
+            )
             for q, member in enumerate(group):
+                part = (pos, np.ascontiguousarray(r[in_maps[q]]))
+                obs.message_sent(
+                    rank, member, payload_nbytes(part), phase="gather_up", layer=layer
+                )
                 if member != rank:
-                    net.post(member, "up", layer, (pos, np.ascontiguousarray(r[in_maps[q]])))
+                    net.post(member, "up", layer, part)
             out = np.zeros((prev_size, *value_shape), dtype=dtype)
             out[in_slices[pos]] = r[in_maps[pos]]
             for member, (sender_pos, vals_part) in net.collect(
@@ -345,18 +412,33 @@ def _worker(
             ).items():
                 out[in_slices[sender_pos]] = vals_part
             net.join_senders()
+            obs.end(gather)
             r = out
 
-        result_q.put((rank, r[in_inv], None))
+        result_q.put((rank, r[in_inv], None, obs.snapshot() if obs.enabled else None))
         # Slow peers may still need resends of our final up-parts: stay
         # around servicing NACKs until the parent flips the done event.
         net.linger(done_evt, linger_budget)
     except PeerFailedError as exc:
-        result_q.put((rank, None, ("peer", exc.slot, exc.phase, exc.layer, str(exc))))
+        result_q.put(
+            (
+                rank,
+                None,
+                ("peer", exc.slot, exc.phase, exc.layer, str(exc)),
+                obs.snapshot() if obs.enabled else None,
+            )
+        )
     except Exception as exc:  # pragma: no cover - surfaced in the parent
         import traceback
 
-        result_q.put((rank, None, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"))
+        result_q.put(
+            (
+                rank,
+                None,
+                f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+                obs.snapshot() if obs.enabled else None,
+            )
+        )
 
 
 class LocalKylix:
@@ -383,6 +465,12 @@ class LocalKylix:
         Budget for joining each worker during cleanup; workers still
         alive after it are terminated, then killed — no zombies on any
         exit path.
+    observe:
+        Optional :class:`~repro.obs.Observer` to collect spans, traffic
+        counters, and fault metrics from the run.  Each worker process
+        records into a private wall-clock observer and ships a snapshot
+        back with its result; the parent absorbs them all here, one
+        trace process row per worker.  Default off.
     """
 
     def __init__(
@@ -395,6 +483,7 @@ class LocalKylix:
         retry: Optional[RetryPolicy] = None,
         timeout: float = 120.0,
         join_timeout: float = 10.0,
+        observe: Optional[Observer] = None,
     ):
         self.degrees = [int(d) for d in degrees]
         self.size = int(np.prod(self.degrees))
@@ -422,6 +511,7 @@ class LocalKylix:
                 raise ValueError("LocalKylix does not support recovery schedules")
         self.faults = faults
         self.retry = retry if retry is not None else RetryPolicy()
+        self.observe = observe
         self.duplicates_dropped = 0
 
     def allreduce(
@@ -442,6 +532,10 @@ class LocalKylix:
         result_q = ctx.Queue()
         done_evt = ctx.Event()
         procs: Dict[int, mp.Process] = {}
+        obs = self.observe if self.observe is not None else NULL_OBSERVER
+        if obs.enabled:
+            obs.name_pid(0, "driver")
+        run_span = obs.begin("allreduce(local)", degrees=str(self.degrees))
         try:
             for rank in range(self.size):
                 p = ctx.Process(
@@ -463,6 +557,7 @@ class LocalKylix:
                         self.retry,
                         done_evt,
                         self.timeout,
+                        obs.enabled,
                     ),
                 )
                 p.daemon = True
@@ -475,22 +570,26 @@ class LocalKylix:
                 for conn in ends.values():
                     conn.close()
 
-            return self._collect_results(result_q, procs)
+            return self._collect_results(result_q, procs, obs)
         finally:
             done_evt.set()
             self._reap(procs)
+            obs.end(run_span)
 
     # -- parent-side supervision ------------------------------------------
-    def _collect_results(self, result_q, procs) -> Dict[int, np.ndarray]:
+    def _collect_results(self, result_q, procs, obs=NULL_OBSERVER) -> Dict[int, np.ndarray]:
         results: Dict[int, np.ndarray] = {}
         deadline = time.monotonic() + self.timeout
         grace_until: Dict[int, float] = {}
         while len(results) < self.size:
             try:
-                rank, value, err = result_q.get(timeout=_POLL * 50)
+                rank, value, err, snap = result_q.get(timeout=_POLL * 50)
             except Exception:  # queue.Empty
                 rank = None
             if rank is not None:
+                if snap is not None and obs.enabled:
+                    # One trace process row per worker (pid 0 = driver).
+                    obs.absorb(snap, pid=rank + 1, name=f"worker {rank}")
                 if err is not None:
                     if isinstance(err, tuple) and err[0] == "peer":
                         _, slot, phase, layer, text = err

@@ -1,0 +1,45 @@
+"""``repro.obs`` — unified observability: spans, metrics, trace export.
+
+The paper explains its 64-node overhead as "lack of synchronization …
+absorbed in the communication time measurements"; interrogating claims
+like that needs first-class instrumentation, not ad-hoc timers.  This
+package is the one lens over both execution backends:
+
+* :class:`Observer` — span API + metrics registry + message-event
+  stream, timed against the simulator's virtual clock or the host's
+  monotonic clock transparently;
+* :mod:`repro.obs.metrics` — labelled counters/gauges/histograms
+  (bytes and messages per (phase, layer), merge lengths, retry/NACK
+  counts, latency tails);
+* :mod:`repro.obs.export` — Chrome-trace/Perfetto JSON, a flat metrics
+  JSON for regression tracking, and a text summary, plus the schema
+  validator CI runs on the artifacts;
+* :mod:`repro.obs.runner` — the named end-to-end experiments behind
+  ``python -m repro trace <experiment> --backend sim|local``.
+
+Enable on the simulator with ``Cluster(observe=True)`` (or hand in your
+own :class:`Observer`); on the real-process backend pass
+``LocalKylix(observe=Observer())`` and worker events are shipped back to
+the parent automatically.  See ``docs/observability.md``.
+"""
+
+from .events import MessageEvent, SpanEvent
+from .export import chrome_trace, metrics_json, text_summary, validate_chrome_trace
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .observer import NULL_OBSERVER, NullObserver, Observer
+
+__all__ = [
+    "Observer",
+    "NullObserver",
+    "NULL_OBSERVER",
+    "SpanEvent",
+    "MessageEvent",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "chrome_trace",
+    "metrics_json",
+    "text_summary",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,254 @@
+"""Exporters: Chrome-trace JSON, flat metrics JSON, and a text summary.
+
+The timeline export follows the Chrome Trace Event Format (the JSON
+object form: ``{"traceEvents": [...]}``), which both ``chrome://tracing``
+and Perfetto (https://ui.perfetto.dev) open directly.  Conventions:
+
+* one **process row per producing OS process** — pid 0 is the driver (or
+  the whole simulator), real-backend workers get their own pids;
+* one **thread row per protocol node** (``tid = node + 1``; tid 0 is the
+  driver thread), so an m-node run renders as m parallel lanes;
+* spans become complete (``"ph": "X"``) events carrying node/phase/layer
+  in ``args``; simulator messages land on a synthetic "network" process
+  (one lane per destination node) so fan-in congestion is visible;
+* timestamps are microseconds from the earliest event, whichever clock
+  (virtual or wall) produced them — the schema is backend-agnostic.
+
+The full metrics registry rides along under a top-level ``"metrics"``
+key (trace viewers ignore unknown keys), so one file carries both the
+timeline and the per-(phase, layer) counters.
+
+:func:`validate_chrome_trace` is the schema gate used by CI and the
+tests: it checks the structural contract above and returns a list of
+human-readable problems (empty = valid).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .observer import Observer
+
+__all__ = ["chrome_trace", "metrics_json", "text_summary", "validate_chrome_trace"]
+
+#: Synthetic pid hosting simulator message lanes in the exported trace.
+NET_PID = 99
+
+_VALID_PH = {"X", "M", "C", "B", "E", "i", "b", "e", "n", "s", "t", "f"}
+
+
+def _t0(obs: Observer) -> float:
+    """Earliest timestamp across all events (the export zero)."""
+    times = [sp.start for sp in obs.spans]
+    times += [ev.sent_at for ev in obs.messages]
+    return min(times) if times else 0.0
+
+
+def chrome_trace(obs: Observer, *, meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Render an observer as a Chrome-trace JSON object (see module doc)."""
+    t0 = _t0(obs)
+    events: List[Dict[str, Any]] = []
+
+    pids = sorted({sp.pid for sp in obs.spans} | set(obs.pid_names) | {0})
+    for pid in pids:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": obs.pid_names.get(pid, f"proc {pid}")},
+            }
+        )
+    tids = sorted({(sp.pid, sp.node) for sp in obs.spans})
+    for pid, node in tids:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": node + 1,
+                "args": {"name": "driver" if node < 0 else f"node {node}"},
+            }
+        )
+
+    for sp in obs.spans:
+        args: Dict[str, Any] = {"node": sp.node, "phase": sp.phase, "layer": sp.layer}
+        args.update(sp.args)
+        events.append(
+            {
+                "name": sp.name,
+                "cat": sp.phase or "span",
+                "ph": "X",
+                "ts": (sp.start - t0) * 1e6,
+                "dur": max(sp.duration, 0.0) * 1e6,
+                "pid": sp.pid,
+                "tid": sp.node + 1,
+                "args": args,
+            }
+        )
+
+    if obs.messages:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": NET_PID,
+                "tid": 0,
+                "args": {"name": "network"},
+            }
+        )
+        for dst in sorted({ev.dst for ev in obs.messages}):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": NET_PID,
+                    "tid": dst + 1,
+                    "args": {"name": f"→ node {dst}"},
+                }
+            )
+        for ev in obs.messages:
+            end = ev.delivered_at if ev.delivered_at is not None else ev.sent_at
+            events.append(
+                {
+                    "name": f"{ev.src}→{ev.dst}",
+                    "cat": ev.phase or "net",
+                    "ph": "X",
+                    "ts": (ev.sent_at - t0) * 1e6,
+                    "dur": max(end - ev.sent_at, 0.0) * 1e6,
+                    "pid": NET_PID,
+                    "tid": ev.dst + 1,
+                    "args": {
+                        "src": ev.src,
+                        "dst": ev.dst,
+                        "nbytes": ev.nbytes,
+                        "phase": ev.phase,
+                        "layer": ev.layer,
+                    },
+                }
+            )
+
+    other = {"observer": obs.name}
+    if meta:
+        other.update(meta)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+        "metrics": obs.metrics.as_dict(),
+    }
+
+
+def metrics_json(obs: Observer, *, meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Flat metrics document for regression tracking (diffable run to run)."""
+    phases: Dict[str, Dict[str, float]] = {}
+    for sp in obs.spans:
+        key = sp.phase or sp.name
+        agg = phases.setdefault(key, {"spans": 0, "busy_seconds": 0.0})
+        agg["spans"] += 1
+        agg["busy_seconds"] += sp.duration
+    doc: Dict[str, Any] = {
+        "observer": obs.name,
+        "spans": {"total": len(obs.spans), "by_phase": dict(sorted(phases.items()))},
+        "messages": {"delivered": len(obs.messages)},
+        "metrics": obs.metrics.as_dict(),
+    }
+    if meta:
+        doc["meta"] = meta
+    return doc
+
+
+def text_summary(obs: Observer) -> str:
+    """Quick-look report: phase spans, the traffic matrix, latency tails."""
+    lines = [f"observability summary — {obs.name}"]
+
+    phases: Dict[str, List[float]] = {}
+    for sp in obs.spans:
+        phases.setdefault(sp.phase or sp.name, []).append(sp.duration)
+    if phases:
+        lines.append(f"  spans: {len(obs.spans)} across {len(phases)} phase(s)")
+        for phase, durs in sorted(phases.items()):
+            lines.append(
+                f"    {phase:>16}  {len(durs):>5} spans   "
+                f"busy {sum(durs) * 1e3:10.3f} ms"
+            )
+    else:
+        lines.append("  spans: none recorded")
+
+    net = obs.metrics.counter("net.bytes")
+    self_net = obs.metrics.counter("net.self_bytes")
+    msgs = obs.metrics.counter("net.messages")
+    if len(net) or len(self_net):
+        lines.append("  traffic by (phase, layer):")
+        cells = {tuple(l.get(k) for k in ("phase", "layer")): v for l, v in net.items()}
+        for l, v in self_net.items():
+            key = (l.get("phase"), l.get("layer"))
+            cells[key] = cells.get(key, 0) + v
+        for (phase, layer), nbytes in sorted(cells.items(), key=lambda kv: (str(kv[0][0]), kv[0][1])):
+            n = msgs.value(phase=phase, layer=layer)
+            lines.append(
+                f"    {str(phase):>16} L{layer}  {nbytes:14,.0f} B  {n:6.0f} msgs"
+            )
+
+    lat = obs.metrics.histogram("net.latency")
+    for labels, summ in lat.items():
+        if summ.get("count"):
+            lines.append(
+                f"  latency[{labels.get('phase', '')}]: "
+                f"p50 {summ['p50'] * 1e3:.3f} ms  p99 {summ['p99'] * 1e3:.3f} ms  "
+                f"({summ['count']} msgs)"
+            )
+
+    for name in ("faults.resent", "faults.injected", "faults.duplicates_dropped"):
+        c = obs.metrics.counter(name)
+        if len(c):
+            lines.append(f"  {name}: {c.total():.0f}")
+    return "\n".join(lines)
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Structural schema check of a Chrome-trace JSON object.
+
+    Returns a list of problems (empty = the document is a well-formed
+    trace that Perfetto/chrome://tracing will load).  Used by CI on the
+    artifacts of the instrumented end-to-end run.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["top level must be a JSON object with a 'traceEvents' key"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _VALID_PH:
+            errors.append(f"{where}: bad or missing 'ph' {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"{where}: missing event 'name'")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                errors.append(f"{where}: '{field}' must be an integer")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            errors.append(f"{where}: 'args' must be an object")
+        if ph == "X":
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: 'X' event needs numeric ts >= 0")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: 'X' event needs numeric dur >= 0")
+        elif ph == "M":
+            if ev.get("name") in ("process_name", "thread_name") and not isinstance(
+                ev.get("args", {}).get("name"), str
+            ):
+                errors.append(f"{where}: metadata event needs args.name")
+    if "metrics" in doc and not isinstance(doc["metrics"], dict):
+        errors.append("'metrics' must be an object when present")
+    return errors

@@ -1,0 +1,181 @@
+"""The metrics registry: labelled counters, gauges, and histograms.
+
+SparCML- and Flare-style performance analysis lives on a handful of
+aggregate shapes — bytes and messages per (phase, layer), merge lengths,
+retry/NACK counts, queue-wait distributions.  A
+:class:`MetricsRegistry` holds them all under stable string names with
+free-form key=value labels, so the same registry serves the simulator
+(labels carry protocol phases and butterfly layers) and the real-process
+backend (one registry per worker, merged in the parent).
+
+Everything is plain Python accumulation — no background threads, no
+sampling — so identical runs produce identical metric dumps, which is
+what lets the regression-tracking JSON be diffed across commits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+
+def _key(labels: Dict[str, Any]) -> LabelKey:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically growing sum per label set (bytes, messages, retries)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, value: float = 1, **labels: Any) -> None:
+        k = _key(labels)
+        self._values[k] = self._values.get(k, 0) + value
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_key(labels), 0)
+
+    def total(self) -> float:
+        return sum(self._values.values())
+
+    def items(self) -> List[Tuple[Dict[str, Any], float]]:
+        return [(dict(k), v) for k, v in sorted(self._values.items())]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class Gauge:
+    """A last-write-wins sample per label set (sizes, configuration)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_key(labels)] = value
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_key(labels), float("nan"))
+
+    def items(self) -> List[Tuple[Dict[str, Any], float]]:
+        return [(dict(k), v) for k, v in sorted(self._values.items())]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class Histogram:
+    """Raw observations per label set, summarised on demand.
+
+    Keeping the raw values (rather than fixed buckets) is affordable at
+    this repo's scale and makes the exported percentiles exact.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: Dict[LabelKey, List[float]] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        self._values.setdefault(_key(labels), []).append(float(value))
+
+    def observations(self, **labels: Any) -> List[float]:
+        return list(self._values.get(_key(labels), []))
+
+    def count(self, **labels: Any) -> int:
+        return len(self._values.get(_key(labels), []))
+
+    def summary(self, **labels: Any) -> Dict[str, float]:
+        return self._summarise(self._values.get(_key(labels), []))
+
+    @staticmethod
+    def _summarise(obs: Iterable[float]) -> Dict[str, float]:
+        arr = np.asarray(list(obs), dtype=np.float64)
+        if arr.size == 0:
+            return {"count": 0}
+        return {
+            "count": int(arr.size),
+            "min": float(arr.min()),
+            "max": float(arr.max()),
+            "mean": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50)),
+            "p99": float(np.percentile(arr, 99)),
+        }
+
+    def items(self) -> List[Tuple[Dict[str, Any], Dict[str, float]]]:
+        return [(dict(k), self._summarise(v)) for k, v in sorted(self._values.items())]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class MetricsRegistry:
+    """Named metrics, created on first touch (`registry.counter("x").inc()`)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram(name))
+
+    # -- export / merge ----------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat JSON-able dump: the regression-tracking metrics document."""
+        return {
+            "counters": {
+                name: [{"labels": l, "value": v} for l, v in c.items()]
+                for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: [{"labels": l, "value": v} for l, v in g.items()]
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: [{"labels": l, **s} for l, s in h.items()]
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Raw internal state, for shipping across a process boundary."""
+        return {
+            "counters": {n: dict(c._values) for n, c in self._counters.items()},
+            "gauges": {n: dict(g._values) for n, g in self._gauges.items()},
+            "histograms": {
+                n: {k: list(v) for k, v in h._values.items()}
+                for n, h in self._histograms.items()
+            },
+        }
+
+    def absorb(self, snap: Dict[str, Any]) -> None:
+        """Merge a :meth:`snapshot` from another registry into this one.
+
+        Counters add, histogram observations concatenate, gauges
+        last-write-win — the merge a parent applies per finished worker.
+        """
+        for name, values in snap.get("counters", {}).items():
+            c = self.counter(name)
+            for k, v in values.items():
+                c._values[k] = c._values.get(k, 0) + v
+        for name, values in snap.get("gauges", {}).items():
+            self.gauge(name)._values.update(values)
+        for name, values in snap.get("histograms", {}).items():
+            h = self.histogram(name)
+            for k, obs in values.items():
+                h._values.setdefault(k, []).extend(obs)

@@ -1,0 +1,123 @@
+"""Named traced experiments for ``python -m repro trace``.
+
+Each experiment is a small, seeded end-to-end workload that runs under
+full observation on either execution backend and finishes in seconds —
+the instrumented smoke runs CI archives as artifacts.  ``quickstart``
+mirrors ``examples/quickstart.py`` exactly (same sizes, same seed), so
+the trace you get from the CLI is the timeline of the README example.
+
+:func:`run_traced` returns ``(observer, info)``; ``info`` carries the
+workload shape and an exactness check against the dense reference
+reduction, and — on the simulator — the cluster's
+:class:`~repro.cluster.stats.TrafficStats` for cross-checking the
+observer's byte counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["EXPERIMENTS", "BACKENDS", "run_traced"]
+
+BACKENDS = ("sim", "local")
+
+
+def _workload(m: int, n: int, contrib: int, want: int, seed: int):
+    """Random sparse in/out sets with a home slice (full coverage)."""
+    rng = np.random.default_rng(seed)
+    out_idx = {
+        r: np.unique(np.concatenate([rng.choice(n, contrib), np.arange(r, n, m)]))
+        for r in range(m)
+    }
+    in_idx = {r: rng.choice(n, want, replace=False) for r in range(m)}
+    values = {r: rng.normal(size=out_idx[r].size) for r in range(m)}
+    return out_idx, in_idx, values
+
+
+def _quickstart(seed: int) -> Dict[str, Any]:
+    out_idx, in_idx, values = _workload(8, 1_000, 120, 60, seed)
+    return {"m": 8, "n": 1_000, "degrees": [4, 2], "out_idx": out_idx,
+            "in_idx": in_idx, "values": values}
+
+
+def _demo(seed: int) -> Dict[str, Any]:
+    out_idx, in_idx, values = _workload(16, 5_000, 400, 200, seed)
+    return {"m": 16, "n": 5_000, "degrees": [4, 2, 2], "out_idx": out_idx,
+            "in_idx": in_idx, "values": values}
+
+
+def _faults(seed: int) -> Dict[str, Any]:
+    """The quickstart workload under 5% message drops — the trace shows
+    NACK retransmissions and the fault counters fill in."""
+    w = _quickstart(seed)
+    w["faulty"] = True
+    return w
+
+
+EXPERIMENTS: Dict[str, Callable[[int], Dict[str, Any]]] = {
+    "quickstart": _quickstart,
+    "demo": _demo,
+    "faults": _faults,
+}
+
+
+def _fault_plan(m: int, seed: int):
+    from ..faults import FaultPlan, LinkFault
+
+    return FaultPlan(seed=seed).with_rule(LinkFault(drop=0.05))
+
+
+def run_traced(
+    experiment: str, *, backend: str = "sim", seed: int = 0
+) -> Tuple[Any, Dict[str, Any]]:
+    """Run one named experiment fully observed; return ``(observer, info)``."""
+    if experiment not in EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {experiment!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    from ..allreduce import ReduceSpec, dense_reduce
+    from .observer import Observer
+
+    w = EXPERIMENTS[experiment](seed)
+    m, degrees = w["m"], w["degrees"]
+    spec = ReduceSpec(in_indices=w["in_idx"], out_indices=w["out_idx"])
+    faults = _fault_plan(m, seed) if w.get("faulty") else None
+
+    info: Dict[str, Any] = {
+        "experiment": experiment,
+        "backend": backend,
+        "m": m,
+        "n": w["n"],
+        "degrees": degrees,
+        "seed": seed,
+    }
+
+    if backend == "sim":
+        from ..allreduce import KylixAllreduce
+        from ..cluster import Cluster
+
+        cluster = Cluster(m, seed=seed, failures=faults, observe=True)
+        obs = cluster.obs
+        obs.name = f"{experiment}@sim"
+        net = KylixAllreduce(cluster, degrees=degrees)
+        net.configure(spec)
+        result = net.reduce(w["values"])
+        info["stats"] = cluster.stats
+        info["config_seconds"] = net.config_timing.elapsed
+        info["reduce_seconds"] = net.last_reduce_timing.elapsed
+    else:
+        from ..net.local import LocalKylix
+
+        obs = Observer(name=f"{experiment}@local")
+        net = LocalKylix(degrees=degrees, faults=faults, observe=obs)
+        result = net.allreduce(spec, w["values"])
+
+    reference = dense_reduce(spec, w["values"])
+    info["exact"] = all(
+        np.allclose(result[r], reference[r], atol=1e-9) for r in range(m)
+    )
+    return obs, info

@@ -10,6 +10,7 @@ from .asserts import NoBareAssertRule
 from .determinism import NoUnseededRngRule, NoWallClockRule
 from .dtypes import ExplicitDtypeRule
 from .exports import ModuleExportsRule
+from .noprint import NoPrintRule
 from .timeouts import ExplicitTimeoutRule
 
 __all__ = [
@@ -20,6 +21,7 @@ __all__ = [
     "ExplicitDtypeRule",
     "ModuleExportsRule",
     "ExplicitTimeoutRule",
+    "NoPrintRule",
 ]
 
 RULES = [
@@ -29,4 +31,5 @@ RULES = [
     ExplicitDtypeRule,
     ModuleExportsRule,
     ExplicitTimeoutRule,
+    NoPrintRule,
 ]

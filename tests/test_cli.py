@@ -24,6 +24,31 @@ class TestCLI:
 
     def test_unknown_command(self, capsys):
         assert cli_main(["nope"]) == 2
+        assert "trace" in capsys.readouterr().out
+
+    def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert cli_main(
+            ["trace", "quickstart", "--backend", "sim",
+             "--out", str(out), "--metrics", str(metrics)]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "exact vs dense reference: yes" in printed
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+        phases = {ev.get("args", {}).get("phase") for ev in doc["traceEvents"]}
+        assert {"config", "reduce_down", "gather_up"} <= phases
+        flat = json.loads(metrics.read_text())
+        assert flat["metrics"]["counters"]["net.bytes"]
+
+    def test_trace_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["trace", "quickstart", "--backend", "mpi"])
 
     def test_experiments_dispatch(self, capsys):
         assert cli_main(["experiments", "design"]) == 0

@@ -12,6 +12,7 @@ from repro.verify.rules import (
     ExplicitDtypeRule,
     ModuleExportsRule,
     NoBareAssertRule,
+    NoPrintRule,
     NoUnseededRngRule,
     NoWallClockRule,
 )
@@ -148,6 +149,31 @@ class TestRuleFixtures:
         findings = lint_file(path, [ModuleExportsRule()], relpath="data/fixture.py")
         assert rules_fired(findings) == {"module-exports"}
 
+    def test_no_print_fires_in_library_code(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+
+            def report(x):
+                print("progress:", x)
+            """,
+        )
+        findings = lint_file(path, [NoPrintRule()], relpath="cluster/fixture.py")
+        assert rules_fired(findings) == {"no-print"}
+        assert findings[0].line == 5
+
+    def test_no_print_exempts_cli_faces(self, tmp_path):
+        source = """
+            __all__ = []
+
+            def main():
+                print("table output")
+            """
+        for face in ("__main__.py", "bench/run_all.py"):
+            path = write_fixture(tmp_path, source)
+            assert lint_file(path, [NoPrintRule()], relpath=face) == []
+
     def test_suppression_comment_skips_finding(self, tmp_path):
         path = write_fixture(
             tmp_path,
@@ -184,6 +210,7 @@ class TestPackageClean:
             "explicit-dtype",
             "module-exports",
             "explicit-timeout",
+            "no-print",
         }
 
 
