@@ -1,26 +1,10 @@
 """Command-line entry point: ``python -m repro <command>``.
 
-Commands
---------
-``experiments [names...]``
-    Regenerate the paper's tables/figures (alias of
-    ``python -m repro.bench.run_all``).
-``demo``
-    A 30-second tour: one sparse allreduce with a traffic report.
-``info``
-    Version, calibration constants, and the reproduced-results summary.
-``verify [--stacks 8,16,64] [--n N] [--seed S] [--replication S]``
-    Statically check every protocol invariant (range tiling, slice
-    covers, injective maps, nesting) over the degree stacks of the given
-    cluster sizes; ``--replication`` adds the §V replica-group checks
-    and sweeps the logical ``m/S`` stacks.  Exit 1 on any violation.
-``lint [paths...]``
-    Run the repo-specific AST lint over the ``repro`` package (or the
-    given files/directories).  Exit 1 on any finding.
-``trace [experiment] [--backend sim|local] [--out FILE] [--metrics FILE]``
-    Run a named experiment fully observed and export a Chrome-trace
-    JSON (open in Perfetto / chrome://tracing) plus, optionally, a flat
-    metrics JSON.  See ``docs/observability.md``.
+The :data:`COMMANDS` table below is the single source of truth for the
+CLI surface — ``--help`` output renders it, the unknown-command error
+lists it, and the CLI table in ``docs/observability.md`` / the README is
+checked against it by the test suite.  Keep the three in sync by editing
+the table, not prose.
 """
 
 from __future__ import annotations
@@ -29,7 +13,45 @@ import sys
 
 import numpy as np
 
-__all__ = ["main"]
+__all__ = ["COMMANDS", "main"]
+
+#: command -> (usage suffix, one-line description).  Rendered by
+#: ``python -m repro --help`` and mirrored in the docs (see module doc).
+COMMANDS: dict[str, tuple[str, str]] = {
+    "experiments": (
+        "[names...]",
+        "regenerate the paper's tables/figures (repro.bench.run_all)",
+    ),
+    "demo": ("", "a 30-second tour: one sparse allreduce with a traffic report"),
+    "info": ("", "version, calibration constants, reproduced-results summary"),
+    "verify": (
+        "[--stacks 8,16,64] [--replication S]",
+        "statically check every protocol invariant; exit 1 on violation",
+    ),
+    "lint": ("[paths...]", "run the repo-specific AST lint; exit 1 on findings"),
+    "trace": (
+        "[experiment] [--backend sim|local] [--out FILE]",
+        "run a named experiment observed; export a Chrome-trace JSON",
+    ),
+    "analyze": (
+        "TRACE.json",
+        "critical path, straggler/queue-wait and goblet reports for a trace",
+    ),
+    "perf": (
+        "[experiment...] [--backend sim|local] [--update-baseline]",
+        "run the perf harness and gate against BENCH_kylix.json",
+    ),
+}
+
+
+def _usage() -> str:
+    lines = ["usage: python -m repro <command> [args]", "", "commands:"]
+    for cmd, (suffix, desc) in COMMANDS.items():
+        left = f"{cmd} {suffix}".strip()
+        lines.append(f"  {left:<52} {desc}")
+    lines.append("")
+    lines.append("see docs/observability.md for the trace/analyze/perf workflow")
+    return "\n".join(lines)
 
 
 def _demo() -> int:
@@ -206,9 +228,105 @@ def _trace(args: list[str]) -> int:
     return 0
 
 
+def _analyze(args: list[str]) -> int:
+    import argparse
+    import json
+
+    from .obs.analyze import analyze, render_analysis
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro analyze",
+        description="trace analytics: critical path, queue-wait/straggler "
+        "reports, and the per-layer volume goblet",
+    )
+    parser.add_argument(
+        "trace",
+        help="a Chrome-trace JSON from `python -m repro trace --out`, or a "
+        "flat metrics JSON from `--metrics`",
+    )
+    opts = parser.parse_args(args)
+    try:
+        with open(opts.trace) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        print(f"analyze: cannot read {opts.trace}: {exc.strerror or exc}")
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"analyze: {opts.trace} is not valid JSON: {exc}")
+        return 2
+    try:
+        print(render_analysis(analyze(doc)))
+    except (TypeError, ValueError) as exc:
+        print(f"analyze: {exc}")
+        return 2
+    return 0
+
+
+def _perf(args: list[str]) -> int:
+    import argparse
+
+    from .obs.perf import DEFAULT_BASELINE, run_perf
+    from .obs.runner import BACKENDS, EXPERIMENTS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro perf",
+        description="measure named experiments and gate the perf record "
+        f"against a committed baseline ({DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["quickstart"],
+        metavar="experiment",
+        help="experiments to measure (default: quickstart); choose from "
+        + ", ".join(sorted(EXPERIMENTS)),
+    )
+    parser.add_argument(
+        "--backend", default="sim", choices=list(BACKENDS),
+        help="execution backend (default: sim; only sim metrics gate tightly)",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"baseline JSON path (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the measured records into the baseline instead of gating",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None, metavar="REL",
+        help="override every gated metric's relative tolerance (e.g. 0.5)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="also write the per-metric comparison as JSON (CI artifact)",
+    )
+    opts = parser.parse_args(args)
+    unknown = [e for e in opts.experiments if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(sorted(EXPERIMENTS))}"
+        )
+    if opts.tolerance is not None and opts.tolerance < 0:
+        parser.error("--tolerance must be non-negative")
+    code, report = run_perf(
+        opts.experiments,
+        backend=opts.backend,
+        baseline_path=opts.baseline,
+        update=opts.update_baseline,
+        tolerance=opts.tolerance,
+        seed=opts.seed,
+        report_path=opts.report,
+    )
+    print(report)
+    return code
+
+
 def main(argv: list[str]) -> int:
-    if not argv or argv[0] in ("-h", "--help"):
-        print(__doc__)
+    if not argv or argv[0] in ("-h", "--help", "help"):
+        print(_usage())
         return 0
     cmd, rest = argv[0], argv[1:]
     if cmd == "experiments":
@@ -225,7 +343,12 @@ def main(argv: list[str]) -> int:
         return _lint(rest)
     if cmd == "trace":
         return _trace(rest)
-    print(f"unknown command {cmd!r}; try: experiments, demo, info, verify, lint, trace")
+    if cmd == "analyze":
+        return _analyze(rest)
+    if cmd == "perf":
+        return _perf(rest)
+    print(f"unknown command {cmd!r}\n")
+    print(_usage())
     return 2
 
 

@@ -447,6 +447,9 @@ class KylixAllreduce:
             in_parts = [m.payload[1] if m is not None else in_keys[:0] for m in msgs]
             recv_bytes = sum(m.nbytes for m in msgs if m is not None)
             # Tree-merge the received index sets; memoise position maps.
+            merge_span = obs.begin(
+                f"merge L{layer}", node=rank, phase=phase, layer=layer, kind="merge"
+            )
             out_union, out_maps = union_with_maps(out_parts)
             in_union, in_maps = union_with_maps(in_parts)
             obs.histogram("config.merge_length").observe(
@@ -471,6 +474,7 @@ class KylixAllreduce:
             # Merge cost: every element participates in ~log2(d)+1 merges.
             depth = max(1, int(np.ceil(np.log2(max(d, 2)))) + 1)
             yield node.compute_bytes(recv_bytes * depth)
+            obs.end(merge_span)
 
             plan.layers.append(
                 LayerPlan(
@@ -597,6 +601,13 @@ class KylixAllreduce:
                 node, tag, lp.pos_of, len(lp.group),
                 phase=PHASE_GATHER_UP, layer=layer, nbytes_hint=r.nbytes,
             )
+            merge_span = obs.begin(
+                f"merge L{layer}",
+                node=rank,
+                phase=PHASE_GATHER_UP,
+                layer=layer,
+                kind="merge",
+            )
             recv_bytes = 0
             for q, msg in enumerate(msgs):
                 if msg is None:
@@ -615,6 +626,7 @@ class KylixAllreduce:
                     out[sl] = msg.payload
                 recv_bytes += msg.nbytes
             yield node.compute_bytes(recv_bytes)
+            obs.end(merge_span)
             r = out
             r_mask = out_mask
             obs.end(span)
@@ -727,6 +739,13 @@ class KylixAllreduce:
                 node, tag, lp.pos_of, len(lp.group),
                 phase=PHASE_REDUCE_DOWN, layer=layer, nbytes_hint=v.nbytes,
             )
+            merge_span = obs.begin(
+                f"merge L{layer}",
+                node=rank,
+                phase=PHASE_REDUCE_DOWN,
+                layer=layer,
+                kind="merge",
+            )
             recv_bytes = 0
             for q, msg in enumerate(msgs):
                 # Positions within one map are unique, so the combine can
@@ -745,6 +764,7 @@ class KylixAllreduce:
                     partial[m] = ufunc(partial[m], msg.payload)
                 recv_bytes += msg.nbytes
             yield node.compute_bytes(recv_bytes)
+            obs.end(merge_span)
             v = partial
             v_mask = partial_mask
             obs.end(span)

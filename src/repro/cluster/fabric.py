@@ -329,11 +329,37 @@ class Fabric:
 
     # -- receiving -------------------------------------------------------------
     def recv(self, node: int, *, tag: Any = None, src: Optional[int] = None):
-        """Event that fires with the next matching :class:`Message`."""
+        """Event that fires with the next matching :class:`Message`.
+
+        When an observer is installed, the consumed message's *queue
+        wait* — how long it sat delivered in the mailbox before the
+        protocol picked it up — is charged to the ``net.queue_wait``
+        histogram (labels ``node=, phase=, layer=``) at consumption
+        time.  A starved receiver consumes at delivery time, so its
+        waits are exactly zero; backlog behind a slow merge shows up as
+        positive wait — the signal the straggler report reads.
+        """
         if tag is None and src is None:
-            return self.mailboxes[node].get()
+            ev = self.mailboxes[node].get()
+        else:
 
-        def match(msg: Message) -> bool:
-            return (tag is None or msg.tag == tag) and (src is None or msg.src == src)
+            def match(msg: Message) -> bool:
+                return (tag is None or msg.tag == tag) and (
+                    src is None or msg.src == src
+                )
 
-        return self.mailboxes[node].get(match)
+            ev = self.mailboxes[node].get(match)
+        if self._obs is not None:
+            ev.add_callback(self._record_queue_wait)
+        return ev
+
+    def _record_queue_wait(self, ev) -> None:
+        if ev.ok is not True or getattr(ev, "cancelled", False):
+            return
+        msg = ev.value
+        self._obs.histogram("net.queue_wait").observe(
+            self.engine.now - msg.delivered_at,
+            node=msg.dst,
+            phase=msg.phase,
+            layer=msg.layer,
+        )

@@ -43,8 +43,12 @@ counters, and ships a snapshot back on its result queue; the parent
 absorbs every snapshot into your observer with one process row per
 worker.  ``CLOCK_MONOTONIC`` is system-wide on Linux, so worker
 timestamps are directly comparable and the exporter's common-epoch
-normalisation aligns the rows.  Delivery latency events are
-simulator-only (the wire frames carry no timestamps).
+normalisation aligns the rows.  Wire frames carry their send timestamp,
+so receivers emit the same ``message_delivered`` events (and
+``net.latency`` / ``net.queue_wait`` histograms) the simulator fabric
+does: send-to-dispatch is the delivery latency — fault-injected delays
+included — and dispatch-to-consumption is the queue wait the trace
+analyzer's straggler report reads.
 """
 
 from __future__ import annotations
@@ -80,6 +84,11 @@ _LOCAL_BASE_TIMEOUT = 0.25
 #: Poll granularity for pipe and result-queue waits.
 _POLL = 0.005
 
+#: Wire kind -> canonical observer phase for message events.  The local
+#: backend runs the combined protocol, so its downward exchange reports
+#: as ``combined_down`` (matching the simulator's combined variant).
+_PHASE_OF = {"down": "combined_down", "up": "gather_up"}
+
 
 class _Transport:
     """One worker's fault-wrapped view of its pipes.
@@ -100,14 +109,22 @@ class _Transport:
         self.locks = {m: threading.Lock() for m in conns}
         self.sent: Dict[Tuple[int, str, int], Any] = {}
         self.inbox: Dict[Tuple[int, str, int], Any] = {}
+        self.arrived: Dict[Tuple[int, str, int], float] = {}
         self.seen: set = set()
         self.closed: set = set()
         self.duplicates_dropped = 0
         self.senders: list = []
 
     # -- sending -----------------------------------------------------------
-    def _transmit(self, member, kind, layer, part, attempt=0):
-        """Runs on a sender thread: consult the fault oracle, then send."""
+    def _transmit(self, member, kind, layer, part, attempt=0, sent_at=None):
+        """Runs on a sender thread: consult the fault oracle, then send.
+
+        ``sent_at`` stamps the wire frame (captured *before* any
+        fault-injected delay, so the delay shows up as delivery latency
+        at the receiver — same accounting as the simulator fabric).
+        """
+        if sent_at is None:
+            sent_at = time.monotonic()
         decision = None
         if self.plan is not None:
             # seq is 0: each link carries one logical message per
@@ -128,7 +145,7 @@ class _Transport:
         copies = 1 + (decision.duplicates if decision is not None else 0)
         if decision is not None and decision.drop:
             copies -= 1
-        frame = ("msg", kind, layer, 0, part)
+        frame = ("msg", kind, layer, 0, part, sent_at)
         for _ in range(copies):
             try:
                 with self.locks[member]:
@@ -140,7 +157,8 @@ class _Transport:
         """Cache + send on a background thread (deadlock-free exchange)."""
         self.sent[(member, kind, layer)] = part
         t = threading.Thread(
-            target=self._transmit, args=(member, kind, layer, part, attempt)
+            target=self._transmit,
+            args=(member, kind, layer, part, attempt, time.monotonic()),
         )
         t.daemon = True
         t.start()
@@ -155,7 +173,7 @@ class _Transport:
     # -- receiving ---------------------------------------------------------
     def _dispatch(self, member, obj):
         if obj[0] == "msg":
-            _, kind, layer, _seq, part = obj
+            _, kind, layer, _seq, part, sent_at = obj
             key = (member, kind, layer)
             if key in self.seen:
                 self.duplicates_dropped += 1
@@ -164,8 +182,21 @@ class _Transport:
                         phase=kind, layer=layer
                     )
                 return
+            now = time.monotonic()
             self.seen.add(key)
             self.inbox[key] = part
+            self.arrived[key] = now
+            if self.obs.enabled:
+                with self._obs_lock:
+                    self.obs.message_delivered(
+                        member,
+                        self.rank,
+                        payload_nbytes(part),
+                        sent_at,
+                        now,
+                        phase=_PHASE_OF.get(kind, kind),
+                        layer=layer,
+                    )
         elif obj[0] == "nack":
             _, kind, layer, attempt = obj
             part = self.sent.get((member, kind, layer))
@@ -215,6 +246,20 @@ class _Transport:
         while True:
             missing = [m for m in wanted if (m, kind, layer) not in self.inbox]
             if not missing:
+                if self.obs.enabled:
+                    # Queue wait: pipe-dispatch time -> consumption time,
+                    # mirroring the simulator fabric's mailbox accounting.
+                    now = time.monotonic()
+                    with self._obs_lock:
+                        for m in wanted:
+                            arr = self.arrived.get((m, kind, layer))
+                            if arr is not None:
+                                self.obs.histogram("net.queue_wait").observe(
+                                    max(now - arr, 0.0),
+                                    node=self.rank,
+                                    phase=_PHASE_OF.get(kind, kind),
+                                    layer=layer,
+                                )
                 return {m: self.inbox[(m, kind, layer)] for m in wanted}
             # Drain *every* connection, not just the missing peers': NACKs
             # for our earlier sends arrive on links this collect is not
@@ -352,7 +397,9 @@ def _worker(
             net.join_senders()
             obs.end(xchg)
 
-            merge = obs.begin(f"config L{layer}", node=rank, phase="config", layer=layer)
+            merge = obs.begin(
+                f"config L{layer}", node=rank, phase="config", layer=layer, kind="merge"
+            )
             out_parts = [payloads[q][1] for q in range(d)]
             in_parts = [payloads[q][2] for q in range(d)]
             out_union, out_maps = union_with_maps(out_parts)
@@ -362,7 +409,11 @@ def _worker(
             )
             obs.end(merge)
             scatter = obs.begin(
-                f"reduce_down L{layer}", node=rank, phase="reduce_down", layer=layer
+                f"reduce_down L{layer}",
+                node=rank,
+                phase="reduce_down",
+                layer=layer,
+                kind="merge",
             )
             partial = np.full((out_union.size, *value_shape), identity, dtype=dtype)
             for q in range(d):

@@ -15,7 +15,12 @@ package is the one lens over both execution backends:
   JSON for regression tracking, and a text summary, plus the schema
   validator CI runs on the artifacts;
 * :mod:`repro.obs.runner` — the named end-to-end experiments behind
-  ``python -m repro trace <experiment> --backend sim|local``.
+  ``python -m repro trace <experiment> --backend sim|local``;
+* :mod:`repro.obs.analyze` — trace analytics over a run (critical-path
+  extraction, queue-wait/straggler reports, the per-layer volume
+  "goblet"), consuming a live observer or exported JSON;
+* :mod:`repro.obs.perf` — the perf-regression harness behind
+  ``python -m repro perf``, gating runs against ``BENCH_kylix.json``.
 
 Enable on the simulator with ``Cluster(observe=True)`` (or hand in your
 own :class:`Observer`); on the real-process backend pass
@@ -23,10 +28,19 @@ own :class:`Observer`); on the real-process backend pass
 the parent automatically.  See ``docs/observability.md``.
 """
 
+from .analyze import (
+    CriticalPath,
+    GobletReport,
+    StragglerReport,
+    TraceAnalysis,
+    analyze,
+    render_analysis,
+)
 from .events import MessageEvent, SpanEvent
 from .export import chrome_trace, metrics_json, text_summary, validate_chrome_trace
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import CATALOGUE, Counter, Gauge, Histogram, MetricsRegistry
 from .observer import NULL_OBSERVER, NullObserver, Observer
+from .perf import run_perf
 
 __all__ = [
     "Observer",
@@ -38,8 +52,16 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "CATALOGUE",
     "chrome_trace",
     "metrics_json",
     "text_summary",
     "validate_chrome_trace",
+    "TraceAnalysis",
+    "CriticalPath",
+    "StragglerReport",
+    "GobletReport",
+    "analyze",
+    "render_analysis",
+    "run_perf",
 ]

@@ -222,6 +222,10 @@ def validate_chrome_trace(doc: Any) -> List[str]:
         return ["'traceEvents' must be a list"]
     if not events:
         errors.append("'traceEvents' is empty")
+    # Duration ("B"/"E") events must nest LIFO per (pid, tid) lane — an
+    # "E" without a matching open "B" (or with a different name than the
+    # span it would close) renders as garbage in trace viewers.
+    open_spans: Dict[tuple, List[tuple]] = {}
     for i, ev in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(ev, dict):
@@ -249,6 +253,40 @@ def validate_chrome_trace(doc: Any) -> List[str]:
                 ev.get("args", {}).get("name"), str
             ):
                 errors.append(f"{where}: metadata event needs args.name")
+        elif ph in ("B", "E"):
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: '{ph}' event needs numeric ts >= 0")
+                continue
+            lane = (ev.get("pid"), ev.get("tid"))
+            stack = open_spans.setdefault(lane, [])
+            if ph == "B":
+                stack.append((ev.get("name"), ts, i))
+            else:
+                if not stack:
+                    errors.append(
+                        f"{where}: 'E' with no open 'B' on (pid={lane[0]}, "
+                        f"tid={lane[1]})"
+                    )
+                    continue
+                b_name, b_ts, b_i = stack.pop()
+                if ev.get("name") not in (None, b_name):
+                    errors.append(
+                        f"{where}: 'E' name {ev.get('name')!r} does not match "
+                        f"open 'B' {b_name!r} (traceEvents[{b_i}]) — out-of-order "
+                        f"B/E nesting"
+                    )
+                elif ts < b_ts:
+                    errors.append(
+                        f"{where}: 'E' at ts={ts} closes 'B' "
+                        f"(traceEvents[{b_i}]) that starts later at ts={b_ts}"
+                    )
+    for (pid, tid), stack in sorted(open_spans.items(), key=lambda kv: str(kv[0])):
+        for name, _, b_i in stack:
+            errors.append(
+                f"traceEvents[{b_i}]: 'B' {name!r} on (pid={pid}, tid={tid}) "
+                f"never closed by an 'E'"
+            )
     if "metrics" in doc and not isinstance(doc["metrics"], dict):
         errors.append("'metrics' must be an object when present")
     return errors

@@ -19,9 +19,34 @@ from typing import Any, Dict, Iterable, List, Tuple
 
 import numpy as np
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "CATALOGUE"]
 
 LabelKey = Tuple[Tuple[str, Any], ...]
+
+#: The metric catalogue: every series the instrumented backends emit (or
+#: reserve), as ``name -> (kind, labels, meaning)``.  One source of truth
+#: for the docs table in ``docs/observability.md``; the test suite checks
+#: that every metric a traced run produces is listed here, so new
+#: instrumentation must register its names.  The ``config.cache.*``
+#: counters are reserved for the ROADMAP's config-phase cache (keyed
+#: configuration reuse across reduces with an unchanged sparsity
+#: pattern) so its instrumentation lands with stable, pre-agreed names.
+CATALOGUE: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
+    "net.bytes": ("counter", ("phase", "layer"), "network bytes, mirroring TrafficStats cell for cell"),
+    "net.messages": ("counter", ("phase", "layer"), "network messages per (phase, layer)"),
+    "net.self_bytes": ("counter", ("phase", "layer"), "bytes a node sends to itself (counted in volume, free on the wire)"),
+    "net.self_messages": ("counter", ("phase", "layer"), "self-messages per (phase, layer)"),
+    "net.latency": ("histogram", ("phase",), "send-to-delivery time per message, both backends"),
+    "net.queue_wait": ("histogram", ("node", "phase", "layer"), "delivery-to-consumption time per message, per receiving node"),
+    "span.self_time": ("histogram", ("node", "phase", "layer"), "span duration minus nested children: per-node compute attribution"),
+    "config.merge_length": ("histogram", ("phase", "layer"), "union sizes out of union_with_maps during configuration"),
+    "config.cache.hits": ("counter", ("phase",), "reserved: config-cache hits (ROADMAP config-phase caching)"),
+    "config.cache.misses": ("counter", ("phase",), "reserved: config-cache misses (ROADMAP config-phase caching)"),
+    "config.cache.invalidations": ("counter", ("phase",), "reserved: config-cache invalidations on sparsity drift"),
+    "faults.injected": ("counter", ("kind",), "fault-oracle decisions applied (dropped/delayed/duplicated)"),
+    "faults.resent": ("counter", ("phase", "layer"), "NACK-serviced retransmissions"),
+    "faults.duplicates_dropped": ("counter", ("phase", "layer"), "receiver-side dedupe hits"),
+}
 
 
 def _key(labels: Dict[str, Any]) -> LabelKey:

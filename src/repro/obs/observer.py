@@ -38,6 +38,29 @@ from .metrics import MetricsRegistry
 __all__ = ["Observer", "NullObserver", "NULL_OBSERVER"]
 
 
+class _SpanToken:
+    """An open span returned by :meth:`Observer.begin`.
+
+    Mutable on purpose: while the span is open, the observer accumulates
+    the total duration of directly nested child spans in ``child_time``
+    so that :meth:`Observer.end` can charge the *self time* (duration
+    minus children) to the ``span.self_time`` histogram — the per-node
+    compute attribution the trace analyzer's straggler report reads.
+    """
+
+    __slots__ = ("name", "start", "node", "phase", "layer", "pid", "args", "child_time")
+
+    def __init__(self, name, start, node, phase, layer, pid, args):
+        self.name = name
+        self.start = start
+        self.node = node
+        self.phase = phase
+        self.layer = layer
+        self.pid = pid
+        self.args = args
+        self.child_time = 0.0
+
+
 class Observer:
     """Collects spans, metrics, and message events against one clock.
 
@@ -63,6 +86,11 @@ class Observer:
         self.pid_names: Dict[int, str] = {}
         self._sent_subs: List[Callable[[MessageEvent], None]] = []
         self._delivered_subs: List[Callable[[MessageEvent], None]] = []
+        # Open-span stacks keyed (pid, node): each protocol node is
+        # sequential within itself, so its spans nest LIFO; different
+        # nodes interleave freely in the simulator and must not share a
+        # stack.  Drives the span.self_time attribution in end().
+        self._open: Dict[tuple, List[_SpanToken]] = {}
 
     # -- clock -------------------------------------------------------------
     def set_clock(self, clock: Callable[[], float]) -> None:
@@ -86,22 +114,13 @@ class Observer:
         """Context manager timing one region; safe inside generator
         protocols (the clock is read at entry and exit, whenever the
         surrounding generator actually executes those lines)."""
-        start = self.now()
+        token = self.begin(
+            name, node=node, phase=phase, layer=layer, pid=pid, **args
+        )
         try:
             yield self
         finally:
-            self.spans.append(
-                SpanEvent(
-                    name=name,
-                    start=start,
-                    end=self.now(),
-                    node=node,
-                    phase=phase,
-                    layer=layer,
-                    pid=pid,
-                    args=args,
-                )
-            )
+            self.end(token)
 
     def begin(
         self,
@@ -117,23 +136,48 @@ class Observer:
 
         Protocol generators prefer this over the ``with`` form when the
         region does not nest cleanly in one lexical block."""
-        return (name, self.now(), node, phase, layer, pid, args)
+        token = _SpanToken(name, self.now(), node, phase, layer, pid, args)
+        self._open.setdefault((pid, node), []).append(token)
+        return token
 
     def end(self, token) -> None:
-        """Close a span opened with :meth:`begin`."""
+        """Close a span opened with :meth:`begin`.
+
+        Besides recording the :class:`SpanEvent`, charges the span's
+        *self time* — duration minus directly nested child spans on the
+        same (pid, node) — to the ``span.self_time`` histogram, labelled
+        ``phase=, layer=, node=``."""
         if token is None:
             return
-        name, start, node, phase, layer, pid, args = token
+        end = self.now()
+        duration = end - token.start
+        stack = self._open.get((token.pid, token.node))
+        if stack is not None:
+            try:
+                stack.remove(token)
+            except ValueError:
+                pass  # already closed (double end is tolerated)
+            else:
+                if stack:
+                    stack[-1].child_time += duration
+                else:
+                    del self._open[(token.pid, token.node)]
+        self.metrics.histogram("span.self_time").observe(
+            max(duration - token.child_time, 0.0),
+            phase=token.phase,
+            layer=token.layer,
+            node=token.node,
+        )
         self.spans.append(
             SpanEvent(
-                name=name,
-                start=start,
-                end=self.now(),
-                node=node,
-                phase=phase,
-                layer=layer,
-                pid=pid,
-                args=args,
+                name=token.name,
+                start=token.start,
+                end=end,
+                node=token.node,
+                phase=token.phase,
+                layer=token.layer,
+                pid=token.pid,
+                args=token.args,
             )
         )
 

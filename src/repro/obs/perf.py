@@ -1,0 +1,346 @@
+"""The perf-regression harness behind ``python -m repro perf``.
+
+A perf run executes named experiments from :mod:`repro.obs.runner` under
+full observation, distils each into a small metrics record (wall time,
+simulated protocol time, total/per-layer reduction bytes, merge-kernel
+time, critical-path length), and gates the record against a committed
+baseline — ``BENCH_kylix.json`` at the repo root — failing with a
+per-metric delta table when a gated metric regresses beyond its
+tolerance.
+
+Determinism is what makes tight gating possible: on the simulator every
+recorded metric except wall time is a pure function of the seed (the
+virtual clock times the protocol, the fault oracle is seeded), so the
+committed baseline transfers across machines and the default tolerances
+can be small.  Wall time is recorded for context but never gated — it
+measures the host, not the code.  On the real-process backend the clock
+*is* the wall clock, so there only the traffic counts are gated.
+
+The baseline document is schema-versioned and carries a
+``hotpath_history`` list: every deliberate simulator-performance change
+appends an entry with measured before/after numbers, so the baseline
+doubles as the perf changelog the ROADMAP refers to.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .analyze import TraceAnalysis
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_BASELINE",
+    "DEFAULT_TOLERANCES",
+    "PerfError",
+    "measure",
+    "compare",
+    "render_delta_table",
+    "load_baseline",
+    "update_baseline",
+    "run_perf",
+]
+
+SCHEMA_VERSION = 1
+
+#: Baseline filename at the repo root (committed; regenerate with
+#: ``python -m repro perf <experiments> --update-baseline``).
+DEFAULT_BASELINE = "BENCH_kylix.json"
+
+#: Relative regression tolerance per metric; ``None`` marks a metric as
+#: informational — recorded and reported, never gated.  Counters are
+#: exactly reproducible on both backends, so they get zero slack; the
+#: simulated-time metrics are deterministic too, but a hair of tolerance
+#: absorbs float-accumulation differences across numpy versions.
+DEFAULT_TOLERANCES: Dict[str, Optional[float]] = {
+    "wall_seconds": None,
+    "sim_seconds": 0.02,
+    "critical_path_seconds": 0.02,
+    "merge_seconds": 0.05,
+    "total_bytes": 0.0,
+    "total_messages": 0.0,
+    "layer_bytes": 0.0,
+}
+
+#: Metrics whose values are wall-clock-derived on the real backend and
+#: therefore never gated there (machine noise, not regressions).
+_WALL_ON_LOCAL = ("sim_seconds", "critical_path_seconds", "merge_seconds")
+
+
+class PerfError(ValueError):
+    """A baseline file that cannot be used (missing, wrong schema, …)."""
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+def measure(
+    experiment: str, *, backend: str = "sim", seed: int = 0
+) -> Dict[str, Any]:
+    """Run one experiment observed and distil the perf record.
+
+    Returns ``{"key": "<experiment>@<backend>", "seed": ..., "metrics":
+    {...}}`` where metrics holds every series named in
+    :data:`DEFAULT_TOLERANCES` (``layer_bytes`` as a ``{"L<n>": bytes}``
+    mapping, the per-layer goblet).
+    """
+    from .runner import run_traced
+
+    t0 = time.monotonic()
+    obs, info = run_traced(experiment, backend=backend, seed=seed)
+    wall = time.monotonic() - t0
+
+    a = TraceAnalysis.from_observer(obs)
+    goblet = a.goblet_report()
+    cp = a.critical_path()
+
+    sim_seconds = None
+    if backend == "sim":
+        sim_seconds = float(
+            (info.get("config_seconds") or 0.0) + (info.get("reduce_seconds") or 0.0)
+        )
+    metrics: Dict[str, Any] = {
+        "wall_seconds": round(wall, 6),
+        "sim_seconds": sim_seconds,
+        "critical_path_seconds": round(cp.total, 9),
+        "merge_seconds": round(a.merge_seconds(), 9),
+        "total_bytes": int(goblet.total_bytes),
+        "total_messages": int(goblet.total_messages),
+        "layer_bytes": {f"L{k}": int(v) for k, v in sorted(goblet.layers.items())},
+    }
+    return {
+        "key": f"{experiment}@{backend}",
+        "experiment": experiment,
+        "backend": backend,
+        "seed": seed,
+        "exact": bool(info.get("exact")),
+        "metrics": metrics,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Comparison + rendering
+# ---------------------------------------------------------------------------
+def _flatten(metrics: Dict[str, Any]) -> Dict[str, Optional[float]]:
+    flat: Dict[str, Optional[float]] = {}
+    for name, value in metrics.items():
+        if isinstance(value, dict):
+            for sub, v in value.items():
+                flat[f"{name}.{sub}"] = None if v is None else float(v)
+        else:
+            flat[name] = None if value is None else float(value)
+    return flat
+
+
+def _tolerance_for(
+    name: str, backend: str, tolerances: Dict[str, Optional[float]]
+) -> Optional[float]:
+    root = name.split(".", 1)[0]
+    tol = tolerances.get(name, tolerances.get(root))
+    if backend != "sim" and root in _WALL_ON_LOCAL:
+        return None
+    return tol
+
+
+def compare(
+    baseline_metrics: Dict[str, Any],
+    current_metrics: Dict[str, Any],
+    *,
+    backend: str = "sim",
+    tolerances: Optional[Dict[str, Optional[float]]] = None,
+    tolerance_override: Optional[float] = None,
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Compare one experiment's record against its baseline entry.
+
+    Returns ``(rows, failures)``: one row per metric with old/new/delta
+    and a status — ``ok`` (within tolerance), ``better`` (improved),
+    ``info`` (not gated), ``FAIL`` (regressed beyond tolerance).  Only
+    regressions (new > old) fail; improvements always pass.
+    """
+    tols = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        tols.update(tolerances)
+    old_flat = _flatten(baseline_metrics)
+    new_flat = _flatten(current_metrics)
+    rows: List[Dict[str, Any]] = []
+    failures = 0
+    for name in sorted(set(old_flat) | set(new_flat)):
+        old, new = old_flat.get(name), new_flat.get(name)
+        tol = _tolerance_for(name, backend, tols)
+        if tolerance_override is not None and tol is not None:
+            tol = tolerance_override
+        row: Dict[str, Any] = {"metric": name, "old": old, "new": new, "tolerance": tol}
+        if old is None or new is None:
+            row["status"] = "info"
+        elif tol is None:
+            row["status"] = "info"
+        elif new > old * (1.0 + tol) + 1e-12:
+            row["status"] = "FAIL"
+            failures += 1
+        elif new < old - 1e-12:
+            row["status"] = "better"
+        else:
+            row["status"] = "ok"
+        if old not in (None, 0) and new is not None:
+            row["delta_pct"] = (new - old) / old * 100.0
+        rows.append(row)
+    return rows, failures
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) >= 1:
+        return f"{int(value):,}"
+    return f"{value:.6g}"
+
+
+def render_delta_table(key: str, rows: Sequence[Dict[str, Any]]) -> str:
+    """The readable per-metric delta table a failing gate prints."""
+    lines = [f"{key}:"]
+    header = f"  {'metric':<26} {'baseline':>14} {'current':>14} {'delta':>9}  {'tol':>6}  status"
+    lines.append(header)
+    for row in rows:
+        delta = row.get("delta_pct")
+        tol = row.get("tolerance")
+        lines.append(
+            f"  {row['metric']:<26} {_fmt(row['old']):>14} {_fmt(row['new']):>14} "
+            f"{(f'{delta:+.1f}%' if delta is not None else '-'):>9}  "
+            f"{(f'{tol * 100:.0f}%' if tol is not None else '-'):>6}  {row['status']}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Baseline document
+# ---------------------------------------------------------------------------
+def load_baseline(path: str) -> Dict[str, Any]:
+    """Read and validate a baseline file; raises :class:`PerfError`."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        raise PerfError(
+            f"baseline {path!r} not found — create it with --update-baseline"
+        )
+    except json.JSONDecodeError as exc:
+        raise PerfError(f"baseline {path!r} is not valid JSON: {exc}")
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA_VERSION:
+        raise PerfError(
+            f"baseline {path!r} has schema {doc.get('schema')!r}; this tool "
+            f"speaks schema {SCHEMA_VERSION} — regenerate with --update-baseline"
+        )
+    if not isinstance(doc.get("matrix"), dict):
+        raise PerfError(f"baseline {path!r} is missing its 'matrix' object")
+    return doc
+
+
+def update_baseline(
+    doc: Optional[Dict[str, Any]], records: Sequence[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Fold measured records into a (possibly fresh) baseline document.
+
+    Entries for other experiments and the ``hotpath_history`` list are
+    preserved untouched; only the measured keys are replaced.
+    """
+    out: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "generator": "python -m repro perf --update-baseline",
+        "tolerances": dict(DEFAULT_TOLERANCES),
+        "matrix": {},
+        "hotpath_history": [],
+    }
+    if doc:
+        out["matrix"].update(doc.get("matrix", {}))
+        out["hotpath_history"] = list(doc.get("hotpath_history", []))
+    for rec in records:
+        out["matrix"][rec["key"]] = {
+            "seed": rec["seed"],
+            "exact": rec["exact"],
+            "metrics": rec["metrics"],
+        }
+    out["matrix"] = dict(sorted(out["matrix"].items()))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The harness driver (file IO here; printing stays in ``__main__``)
+# ---------------------------------------------------------------------------
+def run_perf(
+    experiments: Sequence[str],
+    *,
+    backend: str = "sim",
+    baseline_path: str = DEFAULT_BASELINE,
+    update: bool = False,
+    tolerance: Optional[float] = None,
+    seed: int = 0,
+    report_path: Optional[str] = None,
+) -> Tuple[int, str]:
+    """Measure ``experiments``, gate against (or update) the baseline.
+
+    Returns ``(exit_code, report)``: 0 = all gates passed (or baseline
+    updated), 1 = at least one metric regressed, 2 = unusable baseline.
+    The report string is the full human-readable output.
+    """
+    lines: List[str] = []
+    records = [measure(e, backend=backend, seed=seed) for e in experiments]
+    for rec in records:
+        if not rec["exact"]:
+            lines.append(f"{rec['key']}: result DIVERGED from dense reference")
+
+    if update:
+        try:
+            doc = load_baseline(baseline_path)
+        except PerfError:
+            doc = None
+        new_doc = update_baseline(doc, records)
+        with open(baseline_path, "w") as fh:
+            json.dump(new_doc, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        lines.append(
+            f"baseline {baseline_path} updated: "
+            + ", ".join(rec["key"] for rec in records)
+        )
+        return (0 if all(r["exact"] for r in records) else 1), "\n".join(lines)
+
+    try:
+        doc = load_baseline(baseline_path)
+    except PerfError as exc:
+        return 2, "\n".join(lines + [f"perf: {exc}"])
+
+    total_failures = 0
+    report_doc: Dict[str, Any] = {"baseline": baseline_path, "results": []}
+    for rec in records:
+        entry = doc["matrix"].get(rec["key"])
+        if entry is None:
+            lines.append(
+                f"{rec['key']}: not in baseline matrix "
+                f"(have: {', '.join(sorted(doc['matrix']))}) — run --update-baseline"
+            )
+            total_failures += 1
+            continue
+        rows, failures = compare(
+            entry["metrics"],
+            rec["metrics"],
+            backend=rec["backend"],
+            tolerances=doc.get("tolerances"),
+            tolerance_override=tolerance,
+        )
+        total_failures += failures
+        lines.append(render_delta_table(rec["key"], rows))
+        lines.append(
+            f"  => {'REGRESSION: ' + str(failures) + ' metric(s) over tolerance' if failures else 'within tolerance'}"
+        )
+        report_doc["results"].append(
+            {"key": rec["key"], "failures": failures, "rows": rows}
+        )
+
+    if report_path:
+        with open(report_path, "w") as fh:
+            json.dump(report_doc, fh, indent=2)
+        lines.append(f"report written to {report_path}")
+    exact_bad = sum(1 for r in records if not r["exact"])
+    code = 1 if (total_failures or exact_bad) else 0
+    return code, "\n".join(lines)

@@ -19,9 +19,25 @@ from typing import Any, Callable, Dict, Tuple
 
 import numpy as np
 
-__all__ = ["EXPERIMENTS", "BACKENDS", "run_traced"]
+__all__ = [
+    "EXPERIMENTS",
+    "BACKENDS",
+    "STRAGGLER_NODE",
+    "STRAGGLER_DELAY",
+    "run_traced",
+]
 
 BACKENDS = ("sim", "local")
+
+#: The deliberately slow node in the ``straggler`` experiment and the
+#: fixed delay its outgoing links carry.  Exposed so the acceptance tests
+#: can assert the analyzer's straggler report names exactly this node.
+#: The delay is chosen to be enormous against the simulator's netmodel
+#: latencies (~ms) yet comfortably inside the real backend's 0.25 s
+#: receive-timeout ladder, so the same experiment runs on both backends
+#: without exhausting any retry budget.
+STRAGGLER_NODE = 5
+STRAGGLER_DELAY = 0.05
 
 
 def _workload(m: int, n: int, contrib: int, want: int, seed: int):
@@ -51,22 +67,55 @@ def _demo(seed: int) -> Dict[str, Any]:
 def _faults(seed: int) -> Dict[str, Any]:
     """The quickstart workload under 5% message drops — the trace shows
     NACK retransmissions and the fault counters fill in."""
+    from ..faults import FaultPlan, LinkFault
+
     w = _quickstart(seed)
-    w["faulty"] = True
+    w["faults"] = FaultPlan(seed=seed).with_rule(LinkFault(drop=0.05))
     return w
+
+
+def _straggler(seed: int) -> Dict[str, Any]:
+    """The quickstart workload with one deliberately slow node: every
+    message *from* :data:`STRAGGLER_NODE` is delayed by
+    :data:`STRAGGLER_DELAY` seconds.  The analyzer's straggler report
+    must finger that node (reason "link") from the per-source delivery
+    latencies — this is the §V skew scenario in miniature.
+
+    The explicit ``base_timeout`` matters: the delay dwarfs the
+    netmodel-derived deadlines the fault plan would otherwise
+    auto-enable, so without it every delayed message would burn the
+    whole retry budget instead of simply arriving late.
+    """
+    from ..faults import FaultPlan, LinkFault, RetryPolicy
+
+    w = _quickstart(seed)
+    w["faults"] = FaultPlan(seed=seed).with_rule(
+        LinkFault(src=STRAGGLER_NODE, delay=STRAGGLER_DELAY)
+    )
+    w["retry"] = RetryPolicy(base_timeout=0.25, max_retries=4)
+    return w
+
+
+def _soak(seed: int) -> Dict[str, Any]:
+    """The 64-node soak: the scheduled-CI workload — a full three-layer
+    butterfly under 2% message drops with observation on.  Big enough to
+    exercise cross-layer interleaving and the NACK path at scale, small
+    enough to finish in seconds on the simulator."""
+    from ..faults import FaultPlan, LinkFault
+
+    out_idx, in_idx, values = _workload(64, 20_000, 500, 250, seed)
+    return {"m": 64, "n": 20_000, "degrees": [4, 4, 4], "out_idx": out_idx,
+            "in_idx": in_idx, "values": values,
+            "faults": FaultPlan(seed=seed).with_rule(LinkFault(drop=0.02))}
 
 
 EXPERIMENTS: Dict[str, Callable[[int], Dict[str, Any]]] = {
     "quickstart": _quickstart,
     "demo": _demo,
     "faults": _faults,
+    "straggler": _straggler,
+    "soak": _soak,
 }
-
-
-def _fault_plan(m: int, seed: int):
-    from ..faults import FaultPlan, LinkFault
-
-    return FaultPlan(seed=seed).with_rule(LinkFault(drop=0.05))
 
 
 def run_traced(
@@ -85,7 +134,8 @@ def run_traced(
     w = EXPERIMENTS[experiment](seed)
     m, degrees = w["m"], w["degrees"]
     spec = ReduceSpec(in_indices=w["in_idx"], out_indices=w["out_idx"])
-    faults = _fault_plan(m, seed) if w.get("faulty") else None
+    faults = w.get("faults")
+    retry = w.get("retry")
 
     info: Dict[str, Any] = {
         "experiment": experiment,
@@ -103,7 +153,7 @@ def run_traced(
         cluster = Cluster(m, seed=seed, failures=faults, observe=True)
         obs = cluster.obs
         obs.name = f"{experiment}@sim"
-        net = KylixAllreduce(cluster, degrees=degrees)
+        net = KylixAllreduce(cluster, degrees=degrees, retry=retry)
         net.configure(spec)
         result = net.reduce(w["values"])
         info["stats"] = cluster.stats
@@ -113,7 +163,7 @@ def run_traced(
         from ..net.local import LocalKylix
 
         obs = Observer(name=f"{experiment}@local")
-        net = LocalKylix(degrees=degrees, faults=faults, observe=obs)
+        net = LocalKylix(degrees=degrees, faults=faults, retry=retry, observe=obs)
         result = net.allreduce(spec, w["values"])
 
     reference = dense_reduce(spec, w["values"])

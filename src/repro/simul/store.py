@@ -64,50 +64,60 @@ class FilterStore(Store):
 
     Each pending getter is matched against queued items in arrival order;
     the first match is delivered.  Getters without a predicate take the
-    oldest item.  Matching is O(waiters × items) which is fine at the
-    message counts a 64-node butterfly produces.
+    oldest item.
+
+    Dispatch is *incremental*: the store maintains the invariant that no
+    waiting getter matches any queued item (every put tested the new
+    item against all waiters; every get tested the new waiter against
+    all items), so a ``put`` only needs to offer the **new item** to the
+    waiters in FIFO order, and a ``get`` only needs to scan the queue
+    for the **new getter**.  The previous implementation re-ran a full
+    O(waiters × items) fixpoint rescan on every operation, which the
+    trace analyzer's critical-path report flagged as the fabric's event
+    churn hot spot — each delivery re-matched every queued cross-layer
+    message against every pending receive.  Semantics are unchanged
+    (same FIFO fairness, same synchronous succeed order); cancelled or
+    already-triggered waiters are purged lazily as they are encountered.
     """
 
     def __init__(self, engine):
         super().__init__(engine)
+        # A list, not a deque: dispatch needs positional removal of a
+        # matching waiter while preserving the order of the rest.
+        self._getters: list = []
         self._filters: dict = {}
+
+    def put(self, item: Any) -> None:
+        getters = self._getters
+        i = 0
+        while i < len(getters):
+            getter = getters[i]
+            if getter.triggered or getter.cancelled:
+                del getters[i]
+                self._filters.pop(getter, None)
+                continue
+            filt = self._filters.get(getter)
+            if filt is None or filt(item):
+                del getters[i]
+                self._filters.pop(getter, None)
+                getter.succeed(item)
+                return
+            i += 1
+        self._items.append(item)
 
     def get(self, filt: Optional[Callable[[Any], bool]] = None) -> StoreGet:
         ev = StoreGet(self.engine)
-        if filt is not None:
+        items = self._items
+        if filt is None:
+            if items:
+                ev.succeed(items.popleft())
+                return ev
+        else:
+            for idx, item in enumerate(items):
+                if filt(item):
+                    del items[idx]
+                    ev.succeed(item)
+                    return ev
             self._filters[ev] = filt
         self._getters.append(ev)
-        self._dispatch()
         return ev
-
-    def _dispatch(self) -> None:
-        if not self._items or not self._getters:
-            return
-        progressed = True
-        while progressed and self._items and self._getters:
-            progressed = False
-            still_waiting: deque = deque()
-            while self._getters:
-                getter = self._getters.popleft()
-                if getter.triggered or getter.cancelled:
-                    self._filters.pop(getter, None)
-                    continue
-                filt = self._filters.get(getter)
-                matched_at = -1
-                if filt is None:
-                    if self._items:
-                        matched_at = 0
-                else:
-                    for idx, item in enumerate(self._items):
-                        if filt(item):
-                            matched_at = idx
-                            break
-                if matched_at >= 0:
-                    item = self._items[matched_at]
-                    del self._items[matched_at]
-                    self._filters.pop(getter, None)
-                    getter.succeed(item)
-                    progressed = True
-                else:
-                    still_waiting.append(getter)
-            self._getters = still_waiting

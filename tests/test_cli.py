@@ -2,14 +2,17 @@
 
 import pytest
 
-from repro.__main__ import main as cli_main
+from repro.__main__ import COMMANDS, main as cli_main
 from repro.bench.run_all import main as run_all_main
 
 
 class TestCLI:
-    def test_help(self, capsys):
+    def test_help_renders_the_commands_table(self, capsys):
         assert cli_main([]) == 0
-        assert "experiments" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        for cmd, (_, desc) in COMMANDS.items():
+            assert cmd in out and desc in out
+        assert cli_main(["--help"]) == 0
 
     def test_info(self, capsys):
         assert cli_main(["info"]) == 0
@@ -22,9 +25,12 @@ class TestCLI:
         assert "exact: yes" in out
         assert "Kylix shape" in out
 
-    def test_unknown_command(self, capsys):
+    def test_unknown_command_names_itself_and_shows_the_table(self, capsys):
         assert cli_main(["nope"]) == 2
-        assert "trace" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "unknown command 'nope'" in out
+        for cmd in COMMANDS:
+            assert cmd in out
 
     def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
         import json
@@ -54,6 +60,40 @@ class TestCLI:
         assert cli_main(["experiments", "design"]) == 0
         out = capsys.readouterr().out
         assert "8x4x2" in out
+
+    def test_analyze_reads_a_trace_file(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert cli_main(
+            ["trace", "straggler", "--backend", "sim", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert cli_main(["analyze", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "critical path" in printed and "straggler: node 5 (link)" in printed
+        assert "goblet" in printed
+
+    def test_analyze_unreadable_input(self, capsys, tmp_path):
+        assert cli_main(["analyze", str(tmp_path / "nope.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert cli_main(["analyze", str(bad)]) == 2
+        notrace = tmp_path / "notrace.json"
+        notrace.write_text('{"hello": 1}')
+        assert cli_main(["analyze", str(notrace)]) == 2
+
+    def test_perf_update_and_gate(self, capsys, tmp_path):
+        base = tmp_path / "bench.json"
+        assert cli_main(
+            ["perf", "quickstart", "--update-baseline", "--baseline", str(base)]
+        ) == 0
+        capsys.readouterr()
+        assert cli_main(["perf", "quickstart", "--baseline", str(base)]) == 0
+        printed = capsys.readouterr().out
+        assert "within tolerance" in printed and "total_bytes" in printed
+
+    def test_perf_rejects_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["perf", "not-an-experiment"])
 
 
 class TestRunAll:

@@ -288,7 +288,7 @@ class TestLocalBackend:
 
 class TestRunner:
     def test_registry_names(self):
-        assert set(EXPERIMENTS) == {"quickstart", "demo", "faults"}
+        assert set(EXPERIMENTS) == {"quickstart", "demo", "faults", "straggler", "soak"}
         assert BACKENDS == ("sim", "local")
 
     def test_unknown_experiment_rejected(self):
@@ -305,3 +305,183 @@ class TestRunner:
         injected = obs.metrics.counter("faults.injected")
         resent = obs.metrics.counter("faults.resent")
         assert injected.total() > 0 and resent.total() > 0
+
+
+class TestQueueWaitMetric:
+    """``net.queue_wait`` = delivery-to-consumption, measured on the
+    simulator's own event timestamps — the assertions are exact."""
+
+    def test_late_consumer_waits_exactly_delivery_to_recv(self):
+        from repro.cluster import Cluster
+
+        c = Cluster(2, observe=True)
+        consumed = {}
+
+        def proto(node):
+            if node.rank == 0:
+                node.send(1, None, nbytes=1000, tag="x", phase="reduce_down", layer=1)
+                if False:
+                    yield
+            else:
+                yield node.compute(0.5)  # message is parked in the mailbox
+                yield node.recv(tag="x")
+                consumed["now"] = node.cluster.now
+
+        c.run(proto)
+        (msg,) = c.obs.messages
+        waits = c.obs.metrics.histogram("net.queue_wait").observations(
+            node=1, phase="reduce_down", layer=1
+        )
+        assert waits == [consumed["now"] - msg.delivered_at]
+        assert waits[0] > 0.4  # delivery is fast; nearly all of the 0.5 s
+
+    def test_blocked_consumer_waits_zero(self):
+        from repro.cluster import Cluster
+
+        c = Cluster(2, observe=True)
+
+        def proto(node):
+            if node.rank == 0:
+                yield node.compute(0.25)
+                node.send(1, None, nbytes=1000, tag="x", phase="gather_up", layer=2)
+            else:
+                yield node.recv(tag="x")  # parked *before* the send
+
+        c.run(proto)
+        waits = c.obs.metrics.histogram("net.queue_wait").observations(
+            node=1, phase="gather_up", layer=2
+        )
+        assert waits == [0.0]
+
+    def test_traced_run_records_queue_waits_per_node(self):
+        obs, _ = run_traced("quickstart", backend="sim", seed=0)
+        h = obs.metrics.histogram("net.queue_wait")
+        nodes = {l["node"] for l, _ in h.items()}
+        assert nodes == set(range(8))
+        assert all(v >= 0.0 for l, _ in h.items()
+                   for v in h.observations(**l))
+
+
+class TestSelfTimeMetric:
+    def test_self_time_subtracts_nested_children(self):
+        clock = FakeClock()
+        obs = Observer(clock=clock)
+        outer = obs.begin("step", node=0, phase="reduce_down", layer=1)
+        clock.t = 1.0
+        inner = obs.begin("merge", node=0, phase="reduce_down", layer=1, kind="merge")
+        clock.t = 4.0
+        obs.end(inner)  # child: 3 s
+        clock.t = 5.0
+        obs.end(outer)  # total 5 s, self 2 s
+        h = obs.metrics.histogram("span.self_time")
+        assert h.observations(node=0, phase="reduce_down", layer=1) == [3.0, 2.0]
+
+    def test_interleaved_nodes_do_not_share_stacks(self):
+        clock = FakeClock()
+        obs = Observer(clock=clock)
+        a = obs.begin("step", node=0, phase="config", layer=1)
+        b = obs.begin("step", node=1, phase="config", layer=1)
+        clock.t = 2.0
+        obs.end(a)
+        clock.t = 3.0
+        obs.end(b)
+        h = obs.metrics.histogram("span.self_time")
+        # neither span is the other's child: full durations survive
+        assert h.observations(node=0, phase="config", layer=1) == [2.0]
+        assert h.observations(node=1, phase="config", layer=1) == [3.0]
+
+    def test_traced_run_emits_catalogued_metrics_only(self):
+        from repro.obs import CATALOGUE
+
+        obs, _ = run_traced("faults", backend="sim", seed=0)
+        d = obs.metrics.as_dict()
+        produced = set(d["counters"]) | set(d["gauges"]) | set(d["histograms"])
+        assert produced, "a traced run must produce metrics"
+        missing = produced - set(CATALOGUE)
+        assert not missing, f"metrics not in the catalogue: {sorted(missing)}"
+
+
+class TestExporterEdgeCases:
+    def test_empty_observer_exports_clean(self):
+        """No spans, no messages: the export still carries the driver's
+        process-name metadata and validates — an empty *trace file*
+        (no events at all) is what the validator flags."""
+        obs = Observer(clock=FakeClock(), name="empty")
+        doc = chrome_trace(obs)
+        json.dumps(doc)
+        assert validate_chrome_trace(doc) == []
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])
+        errors = validate_chrome_trace({"traceEvents": []})
+        assert any("empty" in e for e in errors)
+
+    def test_single_span_trace_validates(self):
+        clock = FakeClock()
+        obs = Observer(clock=clock, name="one")
+        with obs.span("solo", node=0, phase="config", layer=1):
+            clock.t = 1.0
+        doc = chrome_trace(obs)
+        assert validate_chrome_trace(doc) == []
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 1 and xs[0]["name"] == "solo"
+
+    def test_dead_worker_snapshot_merge_still_exports(self):
+        """A degraded run absorbs snapshots only from surviving workers;
+        the merged trace must stay valid with one process row missing."""
+        clock = FakeClock()
+        parent = Observer(clock=clock, name="degraded")
+        parent.name_pid(0, "driver")
+        for rank in (0, 1, 3):  # worker 2 died: no snapshot arrives
+            w = Observer(clock=clock)
+            with w.span("work", node=rank, phase="combined_down", layer=1):
+                clock.t += 1.0
+            w.counter("net.bytes").inc(64, phase="combined_down", layer=1)
+            parent.absorb(w.snapshot(), pid=rank + 1, name=f"worker {rank}")
+        doc = chrome_trace(parent)
+        assert validate_chrome_trace(doc) == []
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert pids == {1, 2, 4}  # no row for the dead worker, no bogus rows
+        assert parent.metrics.counter("net.bytes").total() == 3 * 64
+
+    @pytest.mark.parametrize(
+        "events, fragment",
+        [
+            (
+                [{"ph": "E", "name": "a", "pid": 0, "tid": 1, "ts": 1.0}],
+                "no open 'B'",
+            ),
+            (
+                [
+                    {"ph": "B", "name": "a", "pid": 0, "tid": 1, "ts": 0.0},
+                    {"ph": "B", "name": "b", "pid": 0, "tid": 1, "ts": 1.0},
+                    {"ph": "E", "name": "a", "pid": 0, "tid": 1, "ts": 2.0},
+                ],
+                "out-of-order",
+            ),
+            (
+                [{"ph": "B", "name": "a", "pid": 0, "tid": 1, "ts": 0.0}],
+                "never closed",
+            ),
+            (
+                [
+                    {"ph": "B", "name": "a", "pid": 0, "tid": 1, "ts": 5.0},
+                    {"ph": "E", "name": "a", "pid": 0, "tid": 1, "ts": 2.0},
+                ],
+                "starts later",
+            ),
+        ],
+    )
+    def test_validator_rejects_bad_be_nesting(self, events, fragment):
+        errors = validate_chrome_trace({"traceEvents": events})
+        assert any(fragment in e for e in errors), errors
+
+    def test_balanced_be_pairs_accepted(self):
+        events = [
+            {"ph": "B", "name": "a", "pid": 0, "tid": 1, "ts": 0.0},
+            {"ph": "B", "name": "b", "pid": 0, "tid": 1, "ts": 1.0},
+            {"ph": "E", "name": "b", "pid": 0, "tid": 1, "ts": 2.0},
+            {"ph": "E", "name": "a", "pid": 0, "tid": 1, "ts": 3.0},
+            # a different lane nests independently
+            {"ph": "B", "name": "a", "pid": 0, "tid": 2, "ts": 0.5},
+            {"ph": "E", "pid": 0, "tid": 2, "ts": 0.9, "name": "a"},
+        ]
+        assert validate_chrome_trace({"traceEvents": events}) == []
