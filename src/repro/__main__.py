@@ -41,6 +41,10 @@ COMMANDS: dict[str, tuple[str, str]] = {
         "[experiment...] [--backend sim|local] [--update-baseline]",
         "run the perf harness and gate against BENCH_kylix.json",
     ),
+    "explore": (
+        "[--nodes N] [--degrees D,D] [--bound K] [--faults none|drop]",
+        "model-check the protocol across event schedules; exit 1 on violation",
+    ),
 }
 
 
@@ -324,6 +328,116 @@ def _perf(args: list[str]) -> int:
     return code
 
 
+def _explore(args: list[str]) -> int:
+    import argparse
+    import json
+
+    from .mc import KylixModel, UnreadNackModel, explore
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro explore",
+        description="systematically execute the protocol across event "
+        "schedules (DFS + partial-order reduction), checking invariants, "
+        "result correctness, and deadlock-freedom in every explored state; "
+        "a violation emits a minimized, replayable counterexample",
+    )
+    parser.add_argument("--nodes", type=int, default=4, help="cluster size")
+    parser.add_argument(
+        "--degrees", default=None,
+        help="comma-separated degree stack (default: single layer [nodes])",
+    )
+    parser.add_argument(
+        "--bound", type=int, default=1000,
+        help="max schedules to execute (default: 1000)",
+    )
+    parser.add_argument(
+        "--depth", type=int, default=None,
+        help="max engine step at which new branches may open",
+    )
+    parser.add_argument(
+        "--preemptions", type=int, default=None,
+        help="max divergences from default order per schedule",
+    )
+    parser.add_argument(
+        "--faults", default="none", choices=["none", "drop"],
+        help="also explore under a seeded message-drop FaultPlan "
+        "(NACK/retry and timeout-vs-delivery races become branch points)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload/fault seed")
+    parser.add_argument(
+        "--mutant", action="store_true",
+        help="check the known-buggy unread-NACK model instead (must FAIL; "
+        "the checker's own self-test)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the counterexample JSON here on violation",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the failing run's Chrome trace here on violation",
+    )
+    opts = parser.parse_args(args)
+    if opts.nodes < 2:
+        parser.error("--nodes must be >= 2")
+
+    if opts.mutant:
+        model = UnreadNackModel(buggy=True, seed=opts.seed)
+    else:
+        if opts.degrees:
+            try:
+                degrees = tuple(int(d) for d in opts.degrees.split(",") if d)
+            except ValueError:
+                parser.error(f"--degrees must be comma-separated ints, got {opts.degrees!r}")
+        else:
+            degrees = (opts.nodes,)
+        faults = None
+        if opts.faults == "drop":
+            from .faults import FaultPlan, LinkFault
+
+            faults = FaultPlan(seed=opts.seed).with_rule(LinkFault(drop=0.2))
+        model = KylixModel(
+            nodes=opts.nodes, degrees=degrees, seed=opts.seed, faults=faults
+        )
+
+    report = explore(
+        model,
+        bound=opts.bound,
+        depth=opts.depth,
+        preemptions=opts.preemptions,
+    )
+    print(f"model: {json.dumps(report.model, sort_keys=True)}")
+    coverage = "exhaustive" if report.complete else (
+        f"bounded (truncated by {report.truncated_by})"
+    )
+    print(
+        f"explored {report.schedules} schedule(s), "
+        f"{report.branch_points} branch point(s), "
+        f"longest run {report.max_steps} events — {coverage}"
+    )
+    if report.races:
+        print(f"{len(report.races)} distinct merge-order race(s) "
+              "(schedule-dependent arrival order; benign for commutative ops)")
+    if report.ok:
+        print("all explored schedules satisfy every checked property")
+        return 0
+    ce = report.counterexamples[0]
+    print(f"\nVIOLATION [{ce.violation.kind}] {ce.violation.detail}")
+    for w in ce.violation.waiting:
+        print(f"  stuck: {json.dumps(w, sort_keys=True)}")
+    print(f"  counterexample: {len(ce.schedule)} divergence(s), "
+          f"{ce.events} events — schedule {list(map(list, ce.schedule))}")
+    print("  replay: Scheduler.from_schedule(schedule) or Model.execute(schedule)")
+    if opts.out:
+        ce.to_json(opts.out)
+        print(f"  written: {opts.out}")
+    if opts.trace_out:
+        with open(opts.trace_out, "w") as fh:
+            json.dump(ce.chrome_trace(), fh)
+        print(f"  trace: {opts.trace_out}")
+    return 1
+
+
 def main(argv: list[str]) -> int:
     if not argv or argv[0] in ("-h", "--help", "help"):
         print(_usage())
@@ -347,6 +461,8 @@ def main(argv: list[str]) -> int:
         return _analyze(rest)
     if cmd == "perf":
         return _perf(rest)
+    if cmd == "explore":
+        return _explore(rest)
     print(f"unknown command {cmd!r}\n")
     print(_usage())
     return 2

@@ -53,6 +53,11 @@ class Cluster:
     record_trace:
         When True the engine records ``(time, seq, event)`` for every
         processed event (see :attr:`repro.simul.Engine.trace`).
+    scheduler:
+        Optional :class:`~repro.simul.Scheduler` controlling which queued
+        event the engine fires next — the model checker's entry point for
+        exploring alternative interleavings.  ``None`` (default) keeps
+        the engine's original deterministic heap order.
     observe:
         Observability hook.  ``True`` creates a fresh
         :class:`~repro.obs.Observer`; an :class:`~repro.obs.Observer`
@@ -76,6 +81,7 @@ class Cluster:
         creation_order: Optional[Sequence[int]] = None,
         record_trace: bool = False,
         observe: Any = None,
+        scheduler: Any = None,
     ):
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
@@ -95,7 +101,7 @@ class Cluster:
         self.params = params
         self.compute_rate = compute_rate
         self.creation_order = creation_order
-        self.engine = Engine(record_trace=record_trace)
+        self.engine = Engine(record_trace=record_trace, scheduler=scheduler)
         self.stats = TrafficStats()
         # `is not None` (not truthiness): a FaultPlan carrying only
         # message-fault rules has len() == 0 but must still be installed.
@@ -200,6 +206,10 @@ class Cluster:
             rank: self.engine.process(protocol(self._nodes[rank], *args, **kwargs))
             for rank in participants
         }
+        # Kept for post-mortem quiescence analysis: the model checker
+        # walks each stuck process's awaited event back to the mailbox it
+        # is parked on when diagnosing a deadlocked schedule.
+        self._last_procs = dict(procs)
         if len(self.failures) == 0:
             self.engine.run_until_complete(*procs.values())
             return {rank: proc.value for rank, proc in procs.items()}

@@ -123,6 +123,13 @@ class Fabric:
         self._sent_cache: dict = {}  # (src, dst, tag) -> retransmission state
         self._crashed: set = set()  # step-killed nodes
         self.injected = {"dropped": 0, "duplicated": 0, "delayed": 0, "resent": 0}
+        # Memoized per-(phase, layer) stats cells: the send bookkeeping
+        # used to rebuild the (phase, layer) key and re-run the dict
+        # machinery for every message; a protocol run touches only a
+        # handful of distinct cells, so the lookups are cached and only
+        # rebuilt when TrafficStats.reset() bumps the epoch.
+        self._stats_cells: dict = {}
+        self._stats_epoch = self.stats.epoch
 
     def set_liveness(self, fn: Callable[[int], bool]) -> None:
         """Install the failure oracle (see :mod:`repro.cluster.failures`)."""
@@ -151,6 +158,22 @@ class Fabric:
         return node in self._crashed
 
     # -- sending -------------------------------------------------------------
+    def _account_send(
+        self, src: int, dst: int, nbytes: int, phase: str, layer: int
+    ) -> None:
+        """Per-message bookkeeping (TrafficStats cell + observer counters)
+        through the memoized cell cache — the fabric send hot path."""
+        if self._stats_epoch != self.stats.epoch:
+            self._stats_cells.clear()
+            self._stats_epoch = self.stats.epoch
+        cell = self._stats_cells.get((phase, layer))
+        if cell is None:
+            cell = self.stats.cell_ref(phase, layer)
+            self._stats_cells[(phase, layer)] = cell
+        cell.add(nbytes, self_message=src == dst)
+        if self._obs is not None:
+            self._obs.message_sent(src, dst, nbytes, phase=phase, layer=layer)
+
     def send(
         self,
         src: int,
@@ -198,9 +221,7 @@ class Fabric:
             self._sent_cache[(src, dst, tag)] = (payload, nbytes, phase, layer, seq)
             decision = plan.decide(src, dst, phase, layer, seq)
 
-        self.stats.record(src, dst, nbytes, phase=phase, layer=layer)
-        if self._obs is not None:
-            self._obs.message_sent(src, dst, nbytes, phase=phase, layer=layer)
+        self._account_send(src, dst, nbytes, phase, layer)
 
         if src == dst:
             # Local hand-off: no network, only a memcpy-scale CPU charge.
@@ -280,7 +301,17 @@ class Fabric:
                     src, dst, nbytes, sent, self.engine.now, phase, layer
                 )
 
-        self.engine.schedule_at(max(when, self.engine.now), deliver)
+        ev = self.engine.schedule_at(max(when, self.engine.now), deliver)
+        if src != dst:
+            # Commutativity label for the model checker: two network
+            # deliveries conflict only when they land in the same mailbox
+            # within the same (phase, layer) step group — all protocol
+            # receives are tag-filtered on exactly those coordinates, so
+            # deliveries with different footprints commute and need not
+            # be reordered against each other.  Self-messages stay
+            # unlabeled: their relative order is fixed by program order
+            # on a single sequential node.
+            ev.footprint = ("mbox", dst, phase, layer)
 
     def request_resend(self, requester: int, src: int, tag: Any, attempt: int = 1) -> bool:
         """Model a NACK from ``requester``: redeliver the cached payload
@@ -304,9 +335,8 @@ class Fabric:
             return None
         payload, nbytes, phase, layer, seq = entry
         self.injected["resent"] += 1
-        self.stats.record(src, requester, nbytes, phase=phase, layer=layer)
+        self._account_send(src, requester, nbytes, phase, layer)
         if self._obs is not None:
-            self._obs.message_sent(src, requester, nbytes, phase=phase, layer=layer)
             self._obs.counter("faults.resent").inc(phase=phase, layer=layer)
         delay = (
             2.0 * self.params.base_latency
@@ -349,6 +379,12 @@ class Fabric:
                 )
 
             ev = self.mailboxes[node].get(match)
+        # Deadlock-analysis breadcrumbs: a stuck process's awaited event
+        # walks back to this description, and any retry timer racing this
+        # get inherits the wildcard mailbox footprint (phase/layer of the
+        # winning message are unknown until it arrives).
+        ev.desc = f"recv(node={node}, tag={tag!r}, src={src})"
+        ev.race_footprint = ("mbox", node, None, None)
         if self._obs is not None:
             ev.add_callback(self._record_queue_wait)
         return ev

@@ -37,12 +37,38 @@ class PhaseBreakdown:
     def network_bytes(self) -> int:
         return self.bytes
 
+    def add(self, nbytes: int, *, self_message: bool = False) -> None:
+        """Accumulate one message directly into this cell — the hot-path
+        form of :meth:`TrafficStats.record` for callers holding a
+        :meth:`TrafficStats.cell_ref`."""
+        if self_message:
+            self.self_messages += 1
+            self.self_bytes += int(nbytes)
+        else:
+            self.messages += 1
+            self.bytes += int(nbytes)
+
 
 class TrafficStats:
     """Accumulates message counts/volumes keyed by (phase, layer)."""
 
     def __init__(self) -> None:
         self._cells: dict = defaultdict(PhaseBreakdown)
+        self._epoch: int = 0
+
+    @property
+    def epoch(self) -> int:
+        """Bumped by :meth:`reset`; invalidates cached :meth:`cell_ref`
+        handles (a reset replaces every cell object)."""
+        return self._epoch
+
+    def cell_ref(self, phase: str, layer: int) -> PhaseBreakdown:
+        """The live accumulator cell for ``(phase, layer)``, created on
+        first touch.  Callers may hold the reference and :meth:`~
+        PhaseBreakdown.add` to it repeatedly — skipping the per-message
+        key construction and dict lookup — but must re-fetch when
+        :attr:`epoch` changes."""
+        return self._cells[(phase, layer)]
 
     def record(
         self,
@@ -52,13 +78,7 @@ class TrafficStats:
         phase: str = "",
         layer: int = -1,
     ) -> None:
-        cell = self._cells[(phase, layer)]
-        if src == dst:
-            cell.self_messages += 1
-            cell.self_bytes += int(nbytes)
-        else:
-            cell.messages += 1
-            cell.bytes += int(nbytes)
+        self._cells[(phase, layer)].add(nbytes, self_message=src == dst)
 
     def consume(self, event) -> None:
         """Subscriber form of :meth:`record`, for attaching a stats
@@ -120,3 +140,4 @@ class TrafficStats:
 
     def reset(self) -> None:
         self._cells.clear()
+        self._epoch += 1

@@ -1,0 +1,43 @@
+"""repro.mc — a systematic concurrency checker for the simulated cluster.
+
+The deterministic simulator runs one schedule per seed; this package
+turns it into a *model checker* that runs all of them (up to bounds):
+
+* :mod:`~repro.mc.model` wraps a protocol run as a :class:`Model` whose
+  :meth:`~repro.mc.model.Model.execute` replays it under any event
+  schedule and reports every violated property;
+* :mod:`~repro.mc.explore` drives a stateless DFS over the schedule
+  space with dynamic partial-order reduction (only events whose
+  footprints conflict — same mailbox, same-or-wildcard (phase, layer)
+  step group — are reordered against each other);
+* :mod:`~repro.mc.hb` builds vector clocks from the observer's message
+  stream to flag concurrent conflicting deliveries (merge-order races on
+  shared partials) and explains deadlocks via the ``FilterStore`` wait
+  chains;
+* :mod:`~repro.mc.counterexample` minimizes a violating schedule and
+  packages it as a replayable, exportable artifact;
+* :mod:`~repro.mc.mutants` carries known-buggy models that the checker
+  must catch — the guard against a vacuously passing checker.
+
+Entry point: ``python -m repro explore`` (see ``docs/verify.md``).
+"""
+
+from .counterexample import Counterexample
+from .explore import ExplorationReport, explore
+from .hb import Race, happens_before_races, quiescence_report
+from .model import KylixModel, Model, RunResult, Violation
+from .mutants import UnreadNackModel
+
+__all__ = [
+    "Counterexample",
+    "ExplorationReport",
+    "explore",
+    "Race",
+    "happens_before_races",
+    "quiescence_report",
+    "KylixModel",
+    "Model",
+    "RunResult",
+    "Violation",
+    "UnreadNackModel",
+]

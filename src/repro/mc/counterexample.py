@@ -1,0 +1,158 @@
+"""Minimized, replayable counterexamples for violating schedules.
+
+A raw violating schedule from the explorer can carry divergences that
+have nothing to do with the failure (they were forced on the DFS path
+that happened to reach it).  :func:`minimize_schedule` greedily drops
+divergences while the violation still reproduces — replay fidelity is
+checked via ``ReplayScheduler.missed`` (a dropped divergence that shifts
+later forcings off their steps counts as "did not reproduce").
+
+The resulting :class:`Counterexample` is a self-contained artifact:
+
+* ``schedule`` — feed it to ``Scheduler.from_schedule()`` (or
+  ``Model.execute``) to reproduce the violation bit-for-bit;
+* ``trace`` — the engine's ``(time, seq, event)`` record of the failing
+  run, ending in the violating state;
+* ``violation`` / ``waiting`` / ``races`` — what broke and who was
+  stuck on what;
+* :meth:`chrome_trace` — the failing run's observer timeline through
+  ``repro.obs.export``, loadable in Perfetto next to any healthy trace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .model import Model, RunResult, Violation
+
+__all__ = ["Counterexample", "minimize_schedule", "build_counterexample"]
+
+
+def _reproduces(model: Model, schedule: Sequence[Tuple[int, int]], kind: str) -> bool:
+    res = model.execute(tuple(schedule))
+    return not res.missed and any(v.kind == kind for v in res.violations)
+
+
+def minimize_schedule(
+    model: Model, schedule: Sequence[Tuple[int, int]], kind: str
+) -> Tuple[Tuple[int, int], ...]:
+    """Greedy 1-minimal reduction: drop any divergence whose removal
+    still reproduces a violation of the same kind.  The result is
+    1-minimal (no single divergence can be removed), not globally
+    minimal — good enough to read, cheap enough to run inline."""
+    current: List[Tuple[int, int]] = list(schedule)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(current)):
+            candidate = current[:i] + current[i + 1 :]
+            if _reproduces(model, candidate, kind):
+                current = candidate
+                changed = True
+                break
+    return tuple(current)
+
+
+@dataclass
+class Counterexample:
+    """One minimized violating schedule, packaged for humans and replay."""
+
+    model: Dict[str, Any]
+    schedule: Tuple[Tuple[int, int], ...]
+    violation: Violation
+    trace: List[tuple]
+    races: List[Any] = field(default_factory=list)
+    steps: int = 0
+    _obs: Any = field(default=None, repr=False, compare=False)
+
+    @property
+    def events(self) -> int:
+        """Length of the failing run's event trace — the '≤ N events'
+        measure the mutation self-test pins."""
+        return len(self.trace)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "model": self.model,
+            "schedule": [list(d) for d in self.schedule],
+            "violation": self.violation.as_dict(),
+            "steps": self.steps,
+            "events": self.events,
+            "trace": [[t, s, name] for t, s, name in self.trace],
+            "races": [r.as_dict() for r in self.races],
+        }
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The failing run's observer timeline as a Chrome-trace dict
+        (``repro.obs.export.chrome_trace``), tagged with the schedule so
+        the JSON is self-describing in Perfetto's metadata pane."""
+        if self._obs is None:
+            raise ValueError("counterexample carries no observer data")
+        from ..obs.export import chrome_trace
+
+        return chrome_trace(
+            self._obs,
+            meta={
+                "counterexample": {
+                    "schedule": [list(d) for d in self.schedule],
+                    "violation": self.violation.as_dict(),
+                    "model": self.model,
+                }
+            },
+        )
+
+    def replay(self, model: Model) -> RunResult:
+        """Re-execute the schedule; raises if it fails to reproduce the
+        recorded violation kind (drifted model or broken determinism)."""
+        res = model.execute(self.schedule)
+        if res.missed:
+            raise ValueError(
+                f"replay drifted: forced divergences missed {res.missed}"
+            )
+        if not any(v.kind == self.violation.kind for v in res.violations):
+            raise ValueError(
+                f"replay did not reproduce a {self.violation.kind!r} violation"
+            )
+        return res
+
+
+def build_counterexample(
+    model: Model,
+    result: RunResult,
+    *,
+    minimize: bool = True,
+    violation: Optional[Violation] = None,
+) -> Counterexample:
+    """Package a violating :class:`RunResult`, minimizing its schedule.
+
+    Re-executes the (minimized) schedule once so the packaged trace,
+    quiescence report, and observer data describe exactly the schedule
+    being shipped, not the unminimized original.
+    """
+    if violation is None:
+        if not result.violations:
+            raise ValueError("result has no violations to package")
+        violation = result.violations[0]
+    schedule = result.schedule
+    if minimize and schedule:
+        schedule = minimize_schedule(model, schedule, violation.kind)
+    final = model.execute(schedule) if schedule != result.schedule else result
+    packaged = next(
+        (v for v in final.violations if v.kind == violation.kind), violation
+    )
+    return Counterexample(
+        model=model.describe(),
+        schedule=schedule,
+        violation=packaged,
+        trace=final.trace,
+        races=final.races,
+        steps=final.steps,
+        _obs=final.obs,
+    )

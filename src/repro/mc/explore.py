@@ -1,0 +1,131 @@
+"""The stateless DFS explorer over the schedule space.
+
+A schedule is a list of divergences from the default event order (see
+:mod:`repro.simul.scheduler`).  The search tree is rooted at the empty
+schedule; each run reports, for every step past its own deepest forced
+divergence, the queued events that *conflicted* with the one fired
+(dynamic partial-order reduction: commuting events are never reordered,
+so the tree only branches where orders are observably different).  A
+child appends one ``(step, seq)`` divergence; divergence steps strictly
+increase along any root-to-leaf path, so every reachable interleaving of
+conflicting events corresponds to exactly one node of the tree and the
+DFS enumerates each at most once (a seen-set guards re-expansion).
+
+Bounds make the search practical: ``bound`` caps executed schedules,
+``depth`` caps the step index at which new branches may open, and
+``preemptions`` caps divergences per schedule (the classic preemption
+budget — most concurrency bugs need very few).  The report says whether
+the space was exhausted or a bound truncated it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .counterexample import Counterexample, build_counterexample
+from .model import Model
+
+__all__ = ["ExplorationReport", "explore"]
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of one bounded exploration."""
+
+    model: Dict[str, Any]
+    schedules: int = 0
+    branch_points: int = 0
+    max_steps: int = 0
+    complete: bool = False
+    truncated_by: Optional[str] = None
+    counterexamples: List[Counterexample] = field(default_factory=list)
+    races: List[Any] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.counterexamples
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "model": self.model,
+            "schedules": self.schedules,
+            "branch_points": self.branch_points,
+            "max_steps": self.max_steps,
+            "complete": self.complete,
+            "truncated_by": self.truncated_by,
+            "ok": self.ok,
+            "counterexamples": [c.as_dict() for c in self.counterexamples],
+            "races": [r.as_dict() for r in self.races],
+        }
+
+
+def explore(
+    model: Model,
+    *,
+    bound: int = 1000,
+    depth: Optional[int] = None,
+    preemptions: Optional[int] = None,
+    stop_on_first: bool = True,
+    minimize: bool = True,
+) -> ExplorationReport:
+    """Systematically execute schedules of ``model`` until the space is
+    exhausted or a bound trips.
+
+    Every violation is packaged as a minimized, replayable
+    :class:`~repro.mc.counterexample.Counterexample`.  With
+    ``stop_on_first`` (default) the search stops at the first violating
+    schedule — exploration order is deterministic, so the counterexample
+    is too.
+    """
+    if bound <= 0:
+        raise ValueError("bound must be positive")
+    report = ExplorationReport(model=model.describe())
+    stack: List[Tuple[Tuple[int, int], ...]] = [()]
+    seen: set = {()}
+    race_keys: set = set()
+
+    while stack:
+        if report.schedules >= bound:
+            report.truncated_by = "bound"
+            break
+        schedule = stack.pop()
+        result = model.execute(schedule)
+        report.schedules += 1
+        report.max_steps = max(report.max_steps, result.steps)
+        if result.missed:
+            # Drifted replay: the parent recorded a candidate the child
+            # could not force (e.g. fault nondeterminism) — skip, the
+            # surrounding orders are explored through other branches.
+            continue
+        for race in result.races:
+            key = (race.dst, race.phase, race.layer, race.first_src, race.second_src)
+            if key not in race_keys:
+                race_keys.add(key)
+                report.races.append(race)
+        if result.violations:
+            report.counterexamples.append(
+                build_counterexample(model, result, minimize=minimize)
+            )
+            if stop_on_first:
+                break
+        children = 0
+        for step, seq in reversed(result.candidates):
+            if depth is not None and step >= depth:
+                report.truncated_by = report.truncated_by or "depth"
+                continue
+            if preemptions is not None and len(schedule) >= preemptions:
+                report.truncated_by = report.truncated_by or "preemptions"
+                continue
+            child = schedule + ((step, seq),)
+            if child in seen:
+                continue
+            seen.add(child)
+            stack.append(child)
+            children += 1
+        report.branch_points += children
+
+    report.complete = (
+        not stack and report.truncated_by is None and report.schedules > 0
+    )
+    return report

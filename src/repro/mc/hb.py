@@ -1,0 +1,165 @@
+"""Happens-before analysis over the observer's message stream.
+
+Vector clocks are rebuilt from the delivered-message record every run:
+each node is one clock component; a send ticks the sender's component,
+a delivery joins the send's clock into the receiver before ticking the
+receiver's own.  Two *sends* into the same ``(dst, phase, layer)``
+mailbox slot whose clocks are incomparable are concurrent — the arrival
+order at the shared partial is schedule-dependent, which is exactly the
+merge-order freedom the explorer's partial-order reduction branches on.
+Kylix merges are commutative, so a :class:`Race` is a *finding* (the
+spots where schedules diverge), not by itself a violation; a
+non-commutative reduction op would make every one of them a bug.
+
+The second half, :func:`quiescence_report`, explains deadlocks: when the
+event queue drains with processes pending, each stuck process's awaited
+event is walked back to the mailbox it is parked on (``StoreGet.desc``)
+and every mailbox is audited for lost wakeups (a waiting getter whose
+predicate matches a queued item — the incremental-dispatch invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+__all__ = ["Race", "happens_before_races", "quiescence_report"]
+
+#: Cap on pairwise comparisons within one (dst, phase, layer) group, a
+#: guard against quadratic blowup on large traces (the models the
+#: explorer runs are 2–6 nodes, far below it).
+_MAX_GROUP_PAIRS = 50_000
+
+
+@dataclass(frozen=True)
+class Race:
+    """Two concurrent sends into the same mailbox step-group."""
+
+    dst: int
+    phase: str
+    layer: int
+    first_src: int
+    second_src: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "dst": self.dst,
+            "phase": self.phase,
+            "layer": self.layer,
+            "srcs": [self.first_src, self.second_src],
+        }
+
+
+def _leq(a: Sequence[int], b: Sequence[int]) -> bool:
+    return all(x <= y for x, y in zip(a, b))
+
+
+def happens_before_races(messages: Sequence[Any]) -> List[Race]:
+    """Vector-clock race detection over ``Observer.messages``.
+
+    ``messages`` carry ``src, dst, sent_at, delivered_at, phase, layer``
+    (the :class:`~repro.obs.events.MessageEvent` shape).  Returns the
+    distinct pairs of concurrent conflicting sends, deduplicated by
+    ``(dst, phase, layer, src_a, src_b)``.
+    """
+    if not messages:
+        return []
+    n = 0
+    for m in messages:
+        n = max(n, m.src + 1, m.dst + 1)
+    # Interleave send/recv actions in global time order (sends before
+    # deliveries at equal times — a delivery can never precede its send).
+    actions: List[Tuple[float, int, int, str]] = []
+    for i, m in enumerate(messages):
+        actions.append((m.sent_at, 0, i, "send"))
+        actions.append((m.delivered_at, 1, i, "recv"))
+    actions.sort(key=lambda t: (t[0], t[1], t[2]))
+
+    clocks: List[List[int]] = [[0] * n for _ in range(n)]
+    send_clock: Dict[int, List[int]] = {}
+    for _, _, i, kind in actions:
+        m = messages[i]
+        if kind == "send":
+            c = clocks[m.src]
+            c[m.src] += 1
+            send_clock[i] = list(c)
+        else:
+            c = clocks[m.dst]
+            sc = send_clock.get(i)
+            if sc is not None:
+                for j in range(n):
+                    if sc[j] > c[j]:
+                        c[j] = sc[j]
+            c[m.dst] += 1
+
+    groups: Dict[Tuple[int, str, int], List[int]] = {}
+    for i, m in enumerate(messages):
+        groups.setdefault((m.dst, m.phase, m.layer), []).append(i)
+
+    races: List[Race] = []
+    seen: set = set()
+    for (dst, phase, layer), idxs in sorted(groups.items()):
+        pairs = 0
+        for a_pos, a in enumerate(idxs):
+            for b in idxs[a_pos + 1 :]:
+                pairs += 1
+                if pairs > _MAX_GROUP_PAIRS:
+                    break
+                ma, mb = messages[a], messages[b]
+                if ma.src == mb.src:
+                    continue  # same sender: ordered by program order
+                ca, cb = send_clock[a], send_clock[b]
+                if _leq(ca, cb) or _leq(cb, ca):
+                    continue
+                key = (dst, phase, layer, *sorted((ma.src, mb.src)))
+                if key in seen:
+                    continue
+                seen.add(key)
+                races.append(Race(dst, phase, layer, ma.src, mb.src))
+            if pairs > _MAX_GROUP_PAIRS:
+                break
+    return races
+
+
+def quiescence_report(cluster: Any) -> List[Dict[str, Any]]:
+    """Explain a drained-queue state: who is stuck waiting on what.
+
+    Walks the processes of the cluster's last :meth:`~repro.cluster.
+    Cluster.run` call (``cluster._last_procs``): for each one still
+    pending, reports the awaited event's description (a ``StoreGet``
+    carries the ``recv(...)`` site that created it), the backlog of the
+    mailbox it is parked on, and any lost wakeups that mailbox is
+    hiding.  Empty for a completed run.
+    """
+    out: List[Dict[str, Any]] = []
+    procs = getattr(cluster, "_last_procs", None) or {}
+    for rank, proc in sorted(procs.items()):
+        if proc.triggered:
+            continue
+        target = getattr(proc, "_target", None)
+        entry: Dict[str, Any] = {"rank": rank}
+        if target is None:
+            entry["waiting_on"] = "nothing (never resumed)"
+        else:
+            entry["waiting_on"] = (
+                getattr(target, "desc", None) or type(target).__name__
+            )
+            store = getattr(target, "store", None)
+            if store is not None:
+                entry["mailbox_backlog"] = [
+                    repr(getattr(item, "tag", item)) for item in store._items
+                ]
+        out.append(entry)
+    fabric = getattr(cluster, "fabric", None)
+    if fabric is not None:
+        for dst, box in enumerate(fabric.mailboxes):
+            for getter, item in box.find_lost_wakeups():
+                out.append(
+                    {
+                        "rank": dst,
+                        "lost_wakeup": getattr(getter, "desc", None)
+                        or "StoreGet",
+                        "matching_item": repr(getattr(item, "tag", item)),
+                    }
+                )
+    return out

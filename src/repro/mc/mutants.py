@@ -1,0 +1,83 @@
+"""Known-buggy models: the checker's own regression suite.
+
+A model checker that silently explores nothing still reports "all
+schedules pass".  The guard is mutation testing: reintroduce a real,
+schedule-dependent bug behind a flag and require the explorer to find
+it.  :class:`UnreadNackModel` is the simulator-side analogue of the
+PR 3 ``LocalKylix.collect()`` deadlock — the parent only pumped missing
+peers' pipes, so a NACK arriving on an unexpected connection sat unread
+while its sender waited forever for the response.
+
+The distilled two-node shape: node 1 sends a NACK, then its data, then
+waits for the NACK's response before finishing.  Buggy node 0 handles
+"whatever arrives first" — if the data overtakes the NACK (a reordering
+the fabric's latency jitter rarely produces, but a slow link legally
+can), the NACK is never read, node 1 never gets its response, and the
+run deadlocks.  The default schedule completes; only exploration finds
+the failure, with a short (well under 20 events) counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from .model import Model
+
+__all__ = ["UnreadNackModel"]
+
+_PHASE = "down"  # canonical phase label shared by both messages
+_LAYER = 0
+
+
+@dataclass
+class UnreadNackModel(Model):
+    """Two nodes; ``buggy=True`` reintroduces the unread-NACK deadlock.
+
+    With ``buggy=False`` the receiver always services the NACK before
+    consuming data (the PR 3 fix: pump every connection), and no
+    schedule deadlocks — the explorer must prove both directions.
+    """
+
+    buggy: bool = True
+    seed: int = 0
+
+    def describe(self) -> Dict[str, Any]:
+        return {"model": "unread_nack", "buggy": self.buggy, "seed": self.seed}
+
+    def _proto(self, node):
+        if node.rank == 1:
+            # The "stuck group": it needs its NACK serviced to finish.
+            node.send(0, b"nack!!!!", tag="nack", phase=_PHASE, layer=_LAYER)
+            node.send(0, b"data....", tag="data", phase=_PHASE, layer=_LAYER)
+            yield node.recv(tag="reply")
+            node.send(0, b"done....", tag="done", phase=_PHASE, layer=_LAYER)
+            return "sent"
+        if self.buggy:
+            # BUG (PR 3 analogue): consume whichever message lands first.
+            # If data overtakes the NACK, the NACK is never read and the
+            # reply is never sent — node 1 blocks forever.
+            first = yield node.recv()
+            if first.tag == "nack":
+                node.send(1, b"reply...", tag="reply", phase=_PHASE, layer=_LAYER)
+                yield node.recv(tag="data")
+                yield node.recv(tag="done")
+            else:
+                yield node.recv(tag="done")
+        else:
+            # FIXED: service the NACK unconditionally, then drain data.
+            yield node.recv(tag="nack")
+            node.send(1, b"reply...", tag="reply", phase=_PHASE, layer=_LAYER)
+            yield node.recv(tag="data")
+            yield node.recv(tag="done")
+        return "collected"
+
+    def _build(self, cluster_kwargs: Dict[str, Any]):
+        from ..cluster import Cluster
+
+        cluster = Cluster(2, seed=self.seed, **cluster_kwargs)
+
+        def run():
+            return cluster.run(self._proto)
+
+        return cluster, run

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import queue
 import threading
 import time
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
@@ -635,7 +636,7 @@ class LocalKylix:
         while len(results) < self.size:
             try:
                 rank, value, err, snap = result_q.get(timeout=_POLL * 50)
-            except Exception:  # queue.Empty
+            except queue.Empty:
                 rank = None
             if rank is not None:
                 if snap is not None and obs.enabled:

@@ -86,6 +86,10 @@ class Observer:
         self.pid_names: Dict[int, str] = {}
         self._sent_subs: List[Callable[[MessageEvent], None]] = []
         self._delivered_subs: List[Callable[[MessageEvent], None]] = []
+        # (is_self, phase, layer) -> (bytes, messages) bound counters:
+        # the send path's two counter incs without re-canonicalising the
+        # same label set for every message.
+        self._sent_counters: Dict[tuple, tuple] = {}
         # Open-span stacks keyed (pid, node): each protocol node is
         # sequential within itself, so its spans nest LIFO; different
         # nodes interleave freely in the simulator and must not share a
@@ -198,12 +202,19 @@ class Observer:
         """One transport send: maintains the (phase, layer) traffic
         counters (self-messages separated, as in the paper's Fig 5) and
         feeds send subscribers."""
-        if src == dst:
-            self.metrics.counter("net.self_bytes").inc(nbytes, phase=phase, layer=layer)
-            self.metrics.counter("net.self_messages").inc(1, phase=phase, layer=layer)
-        else:
-            self.metrics.counter("net.bytes").inc(nbytes, phase=phase, layer=layer)
-            self.metrics.counter("net.messages").inc(1, phase=phase, layer=layer)
+        is_self = src == dst
+        pair = self._sent_counters.get((is_self, phase, layer))
+        if pair is None:
+            names = ("net.self_bytes", "net.self_messages") if is_self else (
+                "net.bytes", "net.messages"
+            )
+            pair = (
+                self.metrics.counter(names[0]).bind(phase=phase, layer=layer),
+                self.metrics.counter(names[1]).bind(phase=phase, layer=layer),
+            )
+            self._sent_counters[(is_self, phase, layer)] = pair
+        pair[0].inc(nbytes)
+        pair[1].inc()
         if self._sent_subs:
             ev = MessageEvent(
                 src, dst, nbytes, phase=phase, layer=layer, sent_at=self.now()

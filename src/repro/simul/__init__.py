@@ -17,7 +17,8 @@ from .events import (
     Timeout,
 )
 from .process import Process
-from .store import FilterStore, Store
+from .scheduler import FifoScheduler, ReplayScheduler, Scheduler
+from .store import FilterStore, Store, StoreGet
 from .waiting import WaitTimeout, wait_with_timeout
 
 __all__ = [
@@ -35,4 +36,8 @@ __all__ = [
     "Process",
     "Store",
     "FilterStore",
+    "StoreGet",
+    "Scheduler",
+    "FifoScheduler",
+    "ReplayScheduler",
 ]

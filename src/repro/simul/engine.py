@@ -13,6 +13,7 @@ from typing import Any, Callable, Generator, Optional
 
 from .events import AllOf, AnyOf, Event, SimulationError, Timeout
 from .process import Process
+from .scheduler import Scheduler
 
 __all__ = ["Engine", "EmptySchedule"]
 
@@ -40,14 +41,26 @@ class Engine:
     :attr:`trace` as ``(time, seq, event-class-name)``.  Two runs of the
     same seeded experiment must produce identical traces — the
     determinism tests diff them to catch tie-break regressions.
+
+    ``scheduler`` installs a :class:`~repro.simul.scheduler.Scheduler`
+    strategy that picks which queued event fires next (used by the model
+    checker to explore alternative interleavings).  Without one the
+    engine keeps its original heap-pop path — strict ``(time, seq)``
+    order — untouched.
     """
 
-    def __init__(self, *, record_trace: bool = False) -> None:
+    def __init__(
+        self,
+        *,
+        record_trace: bool = False,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
         self._now: float = 0.0
         self._queue: list = []  # (time, seq, event)
         self._seq: int = 0
         self._active_proc: Optional[Process] = None
         self.trace: Optional[list] = [] if record_trace else None
+        self.scheduler = scheduler
 
     # -- clock -----------------------------------------------------------
     @property
@@ -95,10 +108,37 @@ class Engine:
 
     def step(self) -> None:
         """Process exactly one event."""
+        if self.scheduler is not None:
+            self._step_scheduled()
+            return
         try:
             self._now, seq, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+        if self.trace is not None:
+            self.trace.append((self._now, seq, type(event).__name__))
+        event._process()
+
+    def _step_scheduled(self) -> None:
+        """Scheduler-driven step: the strategy picks any queued event.
+
+        The queue stays a valid heap (index 0 is the default choice);
+        choosing a later-timestamped entry models its competitors
+        arriving late, so the clock only ever stretches forward —
+        ``now`` is the max of itself and the chosen event's timestamp,
+        keeping simulated time monotone under arbitrary reordering.
+        """
+        if not self._queue:
+            raise EmptySchedule()
+        idx = self.scheduler.choose(self._queue)
+        if not 0 <= idx < len(self._queue):
+            raise SimulationError(f"scheduler chose invalid queue index {idx}")
+        if idx == 0:
+            time, seq, event = heapq.heappop(self._queue)
+        else:
+            time, seq, event = self._queue.pop(idx)
+            heapq.heapify(self._queue)
+        self._now = max(self._now, time)
         if self.trace is not None:
             self.trace.append((self._now, seq, type(event).__name__))
         event._process()

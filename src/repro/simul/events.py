@@ -52,7 +52,7 @@ class Event:
     runs the registered callbacks exactly once.
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_ok", "_state")
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_state", "footprint")
 
     def __init__(self, engine: "Engine"):  # noqa: F821 - forward ref
         self.engine = engine
@@ -60,6 +60,10 @@ class Event:
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._state = PENDING
+        # Optional commutativity label for the model checker: events with
+        # different footprints (or no footprint) commute and are never
+        # reordered against each other during exploration.
+        self.footprint: Any = None
 
     # -- inspection ------------------------------------------------------
     @property

@@ -1,0 +1,103 @@
+"""Pluggable scheduling strategies for the event engine.
+
+The engine's run loop has exactly one degree of freedom: *which queued
+event fires next*.  The default — strict ``(time, seq)`` order, ties
+broken by scheduling order — is what makes seeded benchmark runs
+bit-identical, and it stays the default: an :class:`Engine` constructed
+without a scheduler keeps its original heap-pop path untouched.
+
+A :class:`Scheduler` makes that choice a strategy object, which is what
+the model checker (:mod:`repro.mc`) builds on: the schedule *space* of a
+protocol is the set of orders a scheduler could legally pick, and one
+concrete schedule — a finite list of divergences from the default order
+— is replayable bit-for-bit via :meth:`Scheduler.from_schedule`.
+
+Choosing an event whose timestamp lies later than another queued event's
+models that other event arriving *late* (an arbitrarily slow link or a
+stalled sender); the engine keeps its clock monotone by stretching
+``now`` to the chosen event's timestamp and never letting it run
+backwards.  Causality is preserved by construction: only events already
+scheduled (whose occurrence is decided) are candidates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .events import SimulationError
+
+__all__ = ["Scheduler", "FifoScheduler", "ReplayScheduler", "ScheduleDivergence"]
+
+#: One forced deviation from default order: at engine step ``step``,
+#: process the queued event carrying sequence number ``seq`` instead of
+#: the ``(time, seq)``-minimal one.
+ScheduleDivergence = Tuple[int, int]
+
+
+class Scheduler:
+    """Strategy interface: pick which queued event the engine fires next.
+
+    ``choose`` receives the engine's live queue — a heap-ordered list of
+    ``(time, seq, event)`` triples whose index 0 is the default choice —
+    and returns the index of the entry to process.  Implementations must
+    be deterministic functions of their own state and the queue contents;
+    the engine owns removal and clock advancement.
+    """
+
+    def choose(self, queue: Sequence[tuple]) -> int:
+        raise NotImplementedError
+
+    @classmethod
+    def from_schedule(cls, schedule: Sequence[ScheduleDivergence]) -> "ReplayScheduler":
+        """A scheduler replaying a recorded schedule (e.g. a model-checker
+        counterexample) exactly: the listed divergences are forced at
+        their recorded steps, every other step follows default order."""
+        return ReplayScheduler(schedule)
+
+
+class FifoScheduler(Scheduler):
+    """The default strategy, made explicit: always the ``(time, seq)``
+    minimum — index 0 of the heap.  An engine driven by this scheduler
+    produces the same event trace, bit for bit, as one with no scheduler
+    at all (the property tests pin this)."""
+
+    def choose(self, queue: Sequence[tuple]) -> int:
+        return 0
+
+
+class ReplayScheduler(Scheduler):
+    """Replay a recorded schedule: force each divergence at its step.
+
+    A divergence that cannot be applied — no queued event carries the
+    recorded ``seq`` at the recorded step — means the run being replayed
+    has drifted from the run that recorded the schedule (different model,
+    seed, or code).  The mismatch is recorded in :attr:`missed` rather
+    than raised, so schedule *minimization* can probe candidate
+    sub-schedules and treat a drifted replay as "does not reproduce";
+    counterexample replay asserts ``missed == []`` for faithfulness.
+    """
+
+    def __init__(self, schedule: Sequence[ScheduleDivergence]):
+        divergences = {}
+        for step, seq in schedule:
+            step, seq = int(step), int(seq)
+            if step < 0:
+                raise SimulationError(f"negative schedule step {step}")
+            if step in divergences:
+                raise SimulationError(f"duplicate divergence at step {step}")
+            divergences[step] = seq
+        self.divergences = divergences
+        self.step_index = 0
+        self.missed: List[ScheduleDivergence] = []
+
+    def choose(self, queue: Sequence[tuple]) -> int:
+        step = self.step_index
+        self.step_index += 1
+        forced = self.divergences.get(step)
+        if forced is None:
+            return 0
+        for idx, (_, seq, _) in enumerate(queue):
+            if seq == forced:
+                return idx
+        self.missed.append((step, forced))
+        return 0

@@ -13,18 +13,29 @@ from typing import Any, Callable, Optional
 
 from .events import Event
 
-__all__ = ["Store", "FilterStore"]
+__all__ = ["Store", "FilterStore", "StoreGet"]
 
 
 class StoreGet(Event):
     """A pending get. Supports cancellation so that an interrupted waiter
-    (e.g. a replica listener whose race was lost) never consumes an item."""
+    (e.g. a replica listener whose race was lost) never consumes an item.
 
-    __slots__ = ("cancelled",)
+    ``store``, ``desc``, and ``race_footprint`` exist for the model
+    checker's deadlock analysis: a drained-queue state is explained by
+    walking each stuck process's awaited event back to the store it is
+    parked on and the human-readable description of what it was waiting
+    for.  ``race_footprint`` labels the mailbox slot this get contends
+    on so a retry timer racing it can be tagged with the same footprint.
+    """
+
+    __slots__ = ("cancelled", "store", "desc", "race_footprint")
 
     def __init__(self, engine):
         super().__init__(engine)
         self.cancelled = False
+        self.store: Optional["Store"] = None
+        self.desc: Optional[str] = None
+        self.race_footprint: Any = None
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -47,9 +58,28 @@ class Store:
 
     def get(self) -> StoreGet:
         ev = StoreGet(self.engine)
+        ev.store = self
         self._getters.append(ev)
         self._dispatch()
         return ev
+
+    def waiting(self) -> list:
+        """The getters still parked on this store (pending, uncancelled)."""
+        return [
+            g for g in self._getters if not (g.triggered or g.cancelled)
+        ]
+
+    def find_lost_wakeups(self) -> list:
+        """Pending getters that match a queued item — i.e. wakeups the
+        dispatch logic lost.  The incremental-dispatch invariant says this
+        is always empty; the model checker calls it in every explored
+        state to prove that across all interleavings, not just seeded
+        runs.  Returns ``(getter, item)`` pairs."""
+        lost = []
+        for getter in self.waiting():
+            if self._items:
+                lost.append((getter, self._items[0]))
+        return lost
 
     def _dispatch(self) -> None:
         while self._items and self._getters:
@@ -105,8 +135,22 @@ class FilterStore(Store):
             i += 1
         self._items.append(item)
 
+    def find_lost_wakeups(self) -> list:
+        """``(getter, item)`` pairs where a pending getter's predicate
+        matches a queued item.  Always empty if incremental dispatch is
+        correct; explored exhaustively by the model checker."""
+        lost = []
+        for getter in self.waiting():
+            filt = self._filters.get(getter)
+            for item in self._items:
+                if filt is None or filt(item):
+                    lost.append((getter, item))
+                    break
+        return lost
+
     def get(self, filt: Optional[Callable[[Any], bool]] = None) -> StoreGet:
         ev = StoreGet(self.engine)
+        ev.store = self
         items = self._items
         if filt is None:
             if items:

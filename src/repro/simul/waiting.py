@@ -45,6 +45,11 @@ def wait_with_timeout(
     if seconds < 0:
         raise SimulationError(f"negative wait deadline {seconds!r}")
     timer = engine.timeout(seconds)
+    # Label the deadline timer with the contended mailbox slot (if the
+    # awaited event names one): the timer firing and the delivery landing
+    # then share a footprint, making the timeout-vs-delivery race a
+    # branch point the model checker explores instead of ignoring.
+    timer.footprint = getattr(event, "race_footprint", None)
     results = yield engine.any_of([event, timer])
     if event in results:
         return results[event]

@@ -7,6 +7,7 @@ references lives in ``docs/verify.md``.
 """
 
 from .asserts import NoBareAssertRule
+from .broad_except import NoBroadExceptRule
 from .determinism import NoUnseededRngRule, NoWallClockRule
 from .dtypes import ExplicitDtypeRule
 from .exports import ModuleExportsRule
@@ -16,6 +17,7 @@ from .timeouts import ExplicitTimeoutRule
 __all__ = [
     "RULES",
     "NoBareAssertRule",
+    "NoBroadExceptRule",
     "NoWallClockRule",
     "NoUnseededRngRule",
     "ExplicitDtypeRule",
@@ -26,6 +28,7 @@ __all__ = [
 
 RULES = [
     NoBareAssertRule,
+    NoBroadExceptRule,
     NoWallClockRule,
     NoUnseededRngRule,
     ExplicitDtypeRule,

@@ -91,6 +91,34 @@ class TestCLI:
         printed = capsys.readouterr().out
         assert "within tolerance" in printed and "total_bytes" in printed
 
+    def test_explore_acceptance_config_is_exhaustive(self, capsys):
+        assert cli_main(
+            ["explore", "--nodes", "4", "--degrees", "2,2", "--bound", "10000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "exhaustive" in out
+        assert "satisfy every checked property" in out
+
+    def test_explore_mutant_exits_one_with_artifacts(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        ce = tmp_path / "counterexample.json"
+        trace = tmp_path / "ce-trace.json"
+        assert cli_main(
+            ["explore", "--mutant", "--out", str(ce), "--trace-out", str(trace)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION [deadlock]" in out
+        doc = json.loads(ce.read_text())
+        assert doc["violation"]["kind"] == "deadlock"
+        assert validate_chrome_trace(json.loads(trace.read_text())) == []
+
+    def test_explore_rejects_bad_nodes(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["explore", "--nodes", "1"])
+
     def test_perf_rejects_unknown_experiment(self, capsys):
         with pytest.raises(SystemExit):
             cli_main(["perf", "not-an-experiment"])

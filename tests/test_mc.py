@@ -1,0 +1,236 @@
+"""The :mod:`repro.mc` model checker: scheduler plumbing, DPOR
+exploration, happens-before analysis, and the mutation self-test that
+keeps the checker honest (a checker that explores nothing would still
+report "all schedules pass")."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.mc import (
+    KylixModel,
+    UnreadNackModel,
+    explore,
+    happens_before_races,
+    quiescence_report,
+)
+from repro.mc.counterexample import build_counterexample
+from repro.obs.events import MessageEvent
+from repro.obs.export import validate_chrome_trace
+from repro.simul import Engine, FifoScheduler, ReplayScheduler, Scheduler, SimulationError
+
+
+def run_traced(scheduler=None, nodes=4, degrees=(2, 2)):
+    from repro.allreduce.kylix import KylixAllreduce
+
+    model = KylixModel(nodes=nodes, degrees=degrees)
+    cluster, run = model._build(
+        {"record_trace": True, "scheduler": scheduler}
+    )
+    run()
+    return cluster.engine.trace
+
+
+class TestSchedulerPlumbing:
+    def test_fifo_scheduler_trace_is_bit_identical_to_default(self):
+        assert run_traced(FifoScheduler()) == run_traced(None)
+
+    def test_empty_replay_schedule_is_the_default_order(self):
+        assert run_traced(ReplayScheduler([])) == run_traced(None)
+
+    def test_from_schedule_builds_a_replay_scheduler(self):
+        sched = Scheduler.from_schedule([(3, 7)])
+        assert isinstance(sched, ReplayScheduler)
+        assert sched.divergences == {3: 7}
+
+    def test_negative_and_duplicate_steps_are_rejected(self):
+        with pytest.raises(SimulationError):
+            ReplayScheduler([(-1, 0)])
+        with pytest.raises(SimulationError):
+            ReplayScheduler([(2, 0), (2, 1)])
+
+    def test_unmatchable_divergence_is_recorded_not_raised(self):
+        sched = ReplayScheduler([(0, 999_999)])
+        run_traced(sched)
+        assert sched.missed == [(0, 999_999)]
+
+    def test_scheduler_bounds_checked(self):
+        class Bad(Scheduler):
+            def choose(self, queue):
+                return len(queue)  # one past the end
+
+        engine = Engine(scheduler=Bad())
+        engine.timeout(1.0)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestHappensBefore:
+    def msg(self, src, dst, sent, delivered, phase="down", layer=0):
+        return MessageEvent(
+            src=src, dst=dst, nbytes=8, phase=phase, layer=layer,
+            sent_at=sent, delivered_at=delivered,
+        )
+
+    def test_concurrent_sends_to_same_slot_race(self):
+        races = happens_before_races(
+            [self.msg(0, 2, 0.0, 1.0), self.msg(1, 2, 0.0, 2.0)]
+        )
+        assert len(races) == 1
+        r = races[0]
+        assert (r.dst, r.phase, r.layer) == (2, "down", 0)
+        assert {r.first_src, r.second_src} == {0, 1}
+
+    def test_causally_ordered_sends_do_not_race(self):
+        # Node 0 sends to 2, then notifies 1, and only after receiving
+        # that notification does 1 send to 2: the two sends into node
+        # 2's slot are ordered through the 0 -> 1 delivery, not a race.
+        msgs = [
+            self.msg(0, 2, 0.0, 1.5),
+            self.msg(0, 1, 0.5, 1.0),
+            self.msg(1, 2, 2.0, 3.0),
+        ]
+        assert happens_before_races(msgs) == []
+
+    def test_same_sender_is_program_ordered(self):
+        msgs = [self.msg(0, 2, 0.0, 5.0), self.msg(0, 2, 0.0, 1.0)]
+        assert happens_before_races(msgs) == []
+
+    def test_different_slots_do_not_conflict(self):
+        msgs = [
+            self.msg(0, 2, 0.0, 1.0, layer=0),
+            self.msg(1, 2, 0.0, 1.0, layer=1),
+        ]
+        assert happens_before_races(msgs) == []
+
+    def test_empty_stream(self):
+        assert happens_before_races([]) == []
+
+
+class TestMutationSelfTest:
+    """ISSUE satellite: the explorer must find the reintroduced PR 3
+    collect() deadlock with a short, deterministically replayable
+    counterexample — and prove the fixed variant clean."""
+
+    def test_default_schedule_masks_the_bug(self):
+        result = UnreadNackModel(buggy=True).execute(())
+        assert result.ok
+        assert result.candidates  # but exploration has somewhere to go
+
+    def test_explorer_finds_the_deadlock(self):
+        report = explore(UnreadNackModel(buggy=True), bound=100)
+        assert not report.ok
+        ce = report.counterexamples[0]
+        assert ce.violation.kind == "deadlock"
+        assert ce.events <= 20
+        assert ce.schedule  # at least one divergence was required
+
+    def test_counterexample_replays_deterministically(self):
+        report = explore(UnreadNackModel(buggy=True), bound=100)
+        ce = report.counterexamples[0]
+        replayed = ce.replay(UnreadNackModel(buggy=True))
+        assert replayed.violations[0].kind == "deadlock"
+        # Replaying against a different model is drift, not silence.
+        with pytest.raises(ValueError):
+            ce.replay(UnreadNackModel(buggy=False))
+
+    def test_counterexample_names_the_stuck_ranks(self):
+        report = explore(UnreadNackModel(buggy=True), bound=100)
+        ce = report.counterexamples[0]
+        waiting = {w.get("rank") for w in ce.violation.waiting}
+        assert {0, 1} <= waiting
+        descs = " ".join(str(w) for w in ce.violation.waiting)
+        assert "nack" in descs  # the unread NACK shows up in the backlog
+
+    def test_counterexample_exports_a_valid_chrome_trace(self):
+        report = explore(UnreadNackModel(buggy=True), bound=100)
+        doc = report.counterexamples[0].chrome_trace()
+        assert validate_chrome_trace(doc) == []
+        meta = doc["otherData"]["counterexample"]
+        assert meta["violation"]["kind"] == "deadlock"
+
+    def test_counterexample_round_trips_through_json(self, tmp_path):
+        report = explore(UnreadNackModel(buggy=True), bound=100)
+        out = tmp_path / "ce.json"
+        report.counterexamples[0].to_json(str(out))
+        doc = json.loads(out.read_text())
+        assert doc["violation"]["kind"] == "deadlock"
+        assert doc["schedule"]  # the replayable divergence list
+
+    def test_fixed_variant_is_exhaustively_clean(self):
+        report = explore(UnreadNackModel(buggy=False), bound=100)
+        assert report.ok
+        assert report.complete
+
+
+class TestKylixModel:
+    def test_acceptance_configuration_is_exhaustively_clean(self):
+        # The ISSUE acceptance command: 4 nodes, degrees (2, 2).
+        report = explore(KylixModel(nodes=4, degrees=(2, 2)), bound=10_000)
+        assert report.ok
+        assert report.complete
+
+    def test_default_run_matches_dense_reference(self):
+        model = KylixModel(nodes=4, degrees=(2, 2))
+        result = model.execute(())
+        assert result.ok
+        assert model.check_values(result.values) == []
+
+    def test_branching_configuration_passes_within_bound(self):
+        report = explore(KylixModel(nodes=3, degrees=(3,)), bound=40)
+        assert report.ok
+        assert report.schedules > 1  # degree-3 mailboxes actually branch
+
+    def test_fault_plan_runs_through_the_explorer(self):
+        from repro.faults import FaultPlan, LinkFault
+
+        faults = FaultPlan(seed=0).with_rule(LinkFault(drop=0.2))
+        report = explore(
+            KylixModel(nodes=3, degrees=(3,), faults=faults), bound=20
+        )
+        assert report.ok
+
+    def test_merge_order_races_are_reported_not_violations(self):
+        report = explore(KylixModel(nodes=3, degrees=(3,)), bound=5)
+        assert report.ok
+        assert report.races  # concurrent sends into shared partials exist
+
+
+class TestExplorerBounds:
+    def test_preemption_budget_truncates(self):
+        report = explore(
+            KylixModel(nodes=3, degrees=(3,)), bound=10_000, preemptions=0
+        )
+        assert report.schedules == 1
+        assert report.truncated_by == "preemptions"
+        assert not report.complete
+
+    def test_depth_bound_truncates(self):
+        report = explore(
+            KylixModel(nodes=3, degrees=(3,)), bound=10_000, depth=1
+        )
+        assert report.truncated_by == "depth"
+
+    def test_bound_zero_rejected(self):
+        with pytest.raises(ValueError):
+            explore(UnreadNackModel(), bound=0)
+
+
+class TestQuiescence:
+    def test_report_empty_for_completed_run(self):
+        model = KylixModel(nodes=2, degrees=(2,))
+        cluster, run = model._build({})
+        run()
+        assert quiescence_report(cluster) == []
+
+    def test_minimization_drops_redundant_divergences(self):
+        model = UnreadNackModel(buggy=True)
+        report = explore(model, bound=100, minimize=False)
+        raw = report.counterexamples[0]
+        minimized = build_counterexample(
+            model, model.execute(raw.schedule), minimize=True
+        )
+        assert len(minimized.schedule) <= len(raw.schedule)
+        assert minimized.violation.kind == "deadlock"

@@ -12,6 +12,7 @@ from repro.verify.rules import (
     ExplicitDtypeRule,
     ModuleExportsRule,
     NoBareAssertRule,
+    NoBroadExceptRule,
     NoPrintRule,
     NoUnseededRngRule,
     NoWallClockRule,
@@ -186,6 +187,96 @@ class TestRuleFixtures:
         )
         assert lint_file(path, [NoBareAssertRule()], relpath="allreduce/fixture.py") == []
 
+    def test_no_broad_except_fires_on_swallow(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+
+            def swallow(op):
+                try:
+                    op()
+                except Exception:
+                    pass
+            """,
+        )
+        findings = lint_file(path, [NoBroadExceptRule()], relpath="cluster/fixture.py")
+        assert rules_fired(findings) == {"no-broad-except"}
+        assert findings[0].line == 7
+
+    def test_no_broad_except_fires_on_bare_except(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+
+            def swallow(op):
+                try:
+                    op()
+                except:
+                    return None
+            """,
+        )
+        findings = lint_file(path, [NoBroadExceptRule()], relpath="cluster/fixture.py")
+        assert rules_fired(findings) == {"no-broad-except"}
+
+    def test_no_broad_except_allows_reraise_log_and_use(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+
+            def translate(op, log, sink):
+                try:
+                    op()
+                except Exception as exc:
+                    raise RuntimeError("typed") from exc
+                try:
+                    op()
+                except Exception:
+                    log.warning("op failed")
+                try:
+                    op()
+                except Exception as exc:
+                    sink.append(exc)
+                try:
+                    op()
+                except ValueError:
+                    pass
+            """,
+        )
+        assert lint_file(path, [NoBroadExceptRule()], relpath="cluster/fixture.py") == []
+
+    def test_no_broad_except_exempts_cli_faces(self, tmp_path):
+        source = """
+            __all__ = []
+
+            def entry(op):
+                try:
+                    op()
+                except Exception:
+                    return 1
+            """
+        path = write_fixture(tmp_path, source)
+        assert lint_file(path, [NoBroadExceptRule()], relpath="__main__.py") == []
+        findings = lint_file(path, [NoBroadExceptRule()], relpath="obs/fixture.py")
+        assert rules_fired(findings) == {"no-broad-except"}
+
+    def test_no_broad_except_suppressed_with_lint_ok(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+
+            def best_effort(op):
+                try:
+                    op()
+                except Exception:  # best-effort cleanup -- lint: ok
+                    pass
+            """,
+        )
+        assert lint_file(path, [NoBroadExceptRule()], relpath="cluster/fixture.py") == []
+
     def test_syntax_error_is_reported_not_raised(self, tmp_path):
         path = write_fixture(tmp_path, "def broken(:\n")
         findings = lint_file(path)
@@ -205,6 +296,7 @@ class TestPackageClean:
         names = {r.name for r in all_rules()}
         assert names == {
             "no-bare-assert",
+            "no-broad-except",
             "no-wall-clock",
             "no-unseeded-rng",
             "explicit-dtype",
