@@ -28,6 +28,10 @@ COMMANDS: dict[str, tuple[str, str]] = {
         "[--stacks 8,16,64] [--replication S]",
         "statically check every protocol invariant; exit 1 on violation",
     ),
+    "certify": (
+        "[--nodes N] [--degrees D,D] [--density RHO] [--faults kill:V:P:L] [--out FILE]",
+        "prove plan coverage/conservation and gate traffic against the certificate",
+    ),
     "lint": ("[paths...]", "run the repo-specific AST lint; exit 1 on findings"),
     "trace": (
         "[experiment] [--backend sim|local] [--out FILE]",
@@ -155,6 +159,235 @@ def _verify(args: list[str]) -> int:
         return 1
     print(f"\nall invariants hold across {total} (size, stack) combinations")
     return 0
+
+
+def _certify(args: list[str]) -> int:
+    import argparse
+    import json
+
+    from .obs.runner import EXPERIMENTS
+    from .verify.flow import (
+        PHASES,
+        CertificationError,
+        certificate_for_experiment,
+        certify,
+        check_coverage,
+        check_traffic,
+        density_spec,
+        emit_certificate_metrics,
+        model_crosscheck,
+        mutant_plans,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro certify",
+        description="statically prove a plan's coverage/conservation "
+        "(abstract interpretation over index-interval lattices), predict "
+        "its exact per-(phase, layer) traffic, then gate a simulated run "
+        "against the certificate",
+    )
+    parser.add_argument("--nodes", type=int, default=8, help="cluster size")
+    parser.add_argument(
+        "--degrees", default=None,
+        help="comma-separated degree stack (default: single layer [nodes])",
+    )
+    parser.add_argument("--n", type=int, default=2048, help="feature count")
+    parser.add_argument(
+        "--density", type=float, default=None, metavar="RHO",
+        help="per-partition extra density in (0,1] for the synthetic "
+        "workload (default: the verify sweep's zipf workload)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--experiment", default=None, choices=sorted(EXPERIMENTS),
+        help="certify a named runner experiment instead of a synthetic "
+        "workload (gates that experiment's exact simulated traffic)",
+    )
+    parser.add_argument(
+        "--faults", action="append", default=None, metavar="kill:V:PHASE:L",
+        help="crash schedule entries, e.g. kill:2:down:1 (repeatable); "
+        "adds the static worst-case coverage-loss bound and checks the "
+        "degraded run's CoverageReport against it",
+    )
+    parser.add_argument(
+        "--mutant", action="store_true",
+        help="certify a seeded mis-partitioned plan instead (must FAIL; "
+        "the certifier's own self-test)",
+    )
+    parser.add_argument(
+        "--static-only", action="store_true",
+        help="skip the runtime gate; emit the certificate only",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the certificate JSON here (CI artifact)",
+    )
+    opts = parser.parse_args(args)
+    if opts.nodes < 1:
+        parser.error("--nodes must be >= 1")
+    if opts.density is not None and not 0.0 < opts.density <= 1.0:
+        parser.error("--density must be in (0, 1]")
+
+    kills = []
+    for entry in opts.faults or []:
+        parts = entry.split(":")
+        if len(parts) != 4 or parts[0] != "kill" or parts[2] not in (
+            "config", "down", "up"
+        ):
+            parser.error(
+                f"--faults entries look like kill:NODE:config|down|up:LAYER, "
+                f"got {entry!r}"
+            )
+        try:
+            kills.append((int(parts[1]), parts[2], int(parts[3])))
+        except ValueError:
+            parser.error(f"--faults node/layer must be integers, got {entry!r}")
+
+    def fail(exc: CertificationError) -> int:
+        print("CERTIFICATION FAILED")
+        print("  " + str(exc).replace("\n", "\n  "))
+        print(f"\nundischarged obligation: {exc.invariant}")
+        if opts.out:
+            with open(opts.out, "w") as fh:
+                json.dump(
+                    {
+                        "certified": False,
+                        "obligation": exc.invariant,
+                        "violations": [str(v) for v in exc.violations],
+                    },
+                    fh,
+                    indent=2,
+                )
+            print(f"written: {opts.out}")
+        return 1
+
+    runtime_violations: list = []
+    runtime_checked: dict[str, int] = {}
+    if opts.experiment is not None and not (kills or opts.mutant):
+        try:
+            cert = certificate_for_experiment(opts.experiment, seed=opts.seed)
+        except CertificationError as exc:
+            return fail(exc)
+        label = f"experiment {opts.experiment}"
+        if not opts.static_only:
+            from .obs.runner import run_traced
+
+            _, info = run_traced(opts.experiment, backend="sim", seed=opts.seed)
+            runtime_violations = check_traffic(cert, info["stats"])
+            runtime_checked["traffic-exact"] = len(PHASES) * len(cert.degrees)
+    else:
+        from .allreduce.topology import ButterflyTopology
+        from .design.empirical import EmpiricalDensityCurve
+        from .verify.plan import build_plans, synthetic_spec
+
+        if opts.experiment is not None:
+            parser.error("--experiment cannot combine with --faults/--mutant")
+        m = opts.nodes
+        if opts.degrees:
+            try:
+                degrees = [int(d) for d in opts.degrees.split(",") if d]
+            except ValueError:
+                parser.error(
+                    f"--degrees must be comma-separated ints, got {opts.degrees!r}"
+                )
+        else:
+            degrees = [m]
+        if opts.density is not None:
+            spec = density_spec(m, n=opts.n, density=opts.density, seed=opts.seed)
+        else:
+            spec = synthetic_spec(m, n=opts.n, seed=opts.seed)
+        faults = None
+        if kills:
+            from .faults import FaultPlan
+
+            faults = FaultPlan(seed=opts.seed)
+            for node, phase, layer in kills:
+                if not 0 <= node < m:
+                    parser.error(f"--faults node {node} outside [0, {m})")
+                faults = faults.kill_at_step(node, phase, layer)
+        try:
+            topology = ButterflyTopology(degrees, m)
+        except ValueError as exc:
+            parser.error(str(exc))
+        plans = build_plans(topology, spec)
+        if opts.mutant:
+            plans = mutant_plans(plans)
+        curve = EmpiricalDensityCurve.from_partitions(
+            spec.out_indices, opts.n, seed=opts.seed
+        )
+        try:
+            cert = certify(
+                topology, spec, plans=plans, faults=faults, curve=curve,
+                meta={"n": opts.n, "density": opts.density, "seed": opts.seed},
+            )
+        except CertificationError as exc:
+            return fail(exc)
+        label = f"m={m} degrees={'x'.join(map(str, degrees))}"
+        if not opts.static_only:
+            from .allreduce import KylixAllreduce
+            from .cluster import Cluster
+
+            cluster = Cluster(m, seed=opts.seed, failures=faults, observe=True)
+            net = KylixAllreduce(cluster, degrees, degrade=bool(kills))
+            net.configure(spec)
+            rng = np.random.default_rng(opts.seed)
+            values = {
+                r: rng.normal(size=spec.out_indices[r].size) for r in spec.ranks
+            }
+            net.reduce(values)
+            if kills:
+                runtime_violations = check_coverage(cert, net.last_report)
+                runtime_checked["coverage-bound"] = m
+            else:
+                runtime_violations = check_traffic(cert, cluster.stats)
+                runtime_checked["traffic-exact"] = len(PHASES) * len(cert.degrees)
+            emit_certificate_metrics(
+                cluster.obs, cert, runtime_violations, runtime_checked
+            )
+
+    print(f"certified {label}: all static obligations discharged")
+    print(f"  fingerprint: {cert.fingerprint[:16]}…")
+    for name, count in sorted(cert.obligations.items()):
+        if count:
+            print(f"  {name:<22} {count:>6} instance(s)")
+    print(f"  predicted traffic: {cert.total_bytes} bytes, "
+          f"{cert.total_messages} messages")
+    for key, cell in sorted(cert.traffic.items()):
+        print(f"    {key:<16} {cell['bytes'] + cell['self_bytes']:>10} B  "
+              f"{cell['messages'] + cell['self_messages']:>5} msgs")
+    if cert.model:
+        print("  volume-model cross-check (analytic vs exact message bytes):")
+        for row in cert.model:
+            print(f"    L{row['layer']} d={row['degree']}: "
+                  f"{row['analytic_message_bytes']} vs "
+                  f"{row['exact_message_bytes']} (ratio {row['ratio']})")
+    if cert.fault_bound is not None:
+        worst = sum(len(v) for v in cert.fault_bound.values())
+        print(f"  worst-case coverage loss: {worst} (rank, index) pairs "
+              f"across {len(cert.fault_bound)} rank(s)")
+    if opts.static_only:
+        print("  runtime gate: skipped (--static-only)")
+    elif runtime_violations:
+        print("\nRUNTIME GATE FAILED")
+        for v in runtime_violations:
+            print(f"  {v}")
+    else:
+        gate = "coverage within static bound" if kills else (
+            "observed traffic matches the certificate exactly"
+        )
+        print(f"  runtime gate: {gate}")
+    if opts.out:
+        doc = cert.to_json()
+        doc["certified"] = True
+        doc["runtime"] = {
+            "checked": runtime_checked,
+            "violations": [str(v) for v in runtime_violations],
+            "ok": not runtime_violations,
+        }
+        with open(opts.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"  written: {opts.out}")
+    return 1 if runtime_violations else 0
 
 
 def _lint(args: list[str]) -> int:
@@ -453,6 +686,8 @@ def main(argv: list[str]) -> int:
         return _info()
     if cmd == "verify":
         return _verify(rest)
+    if cmd == "certify":
+        return _certify(rest)
     if cmd == "lint":
         return _lint(rest)
     if cmd == "trace":

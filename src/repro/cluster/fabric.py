@@ -336,6 +336,7 @@ class Fabric:
         payload, nbytes, phase, layer, seq = entry
         self.injected["resent"] += 1
         self._account_send(src, requester, nbytes, phase, layer)
+        self.stats.cell_ref(phase, layer).add_resent(nbytes)
         if self._obs is not None:
             self._obs.counter("faults.resent").inc(phase=phase, layer=layer)
         delay = (

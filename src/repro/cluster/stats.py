@@ -28,6 +28,11 @@ class PhaseBreakdown:
     bytes: int = 0
     self_messages: int = 0
     self_bytes: int = 0
+    # NACK retransmissions, *also* included in messages/bytes above.
+    # Tracked separately so the plan certifier can subtract them and gate
+    # the base traffic against its static prediction exactly.
+    resent_messages: int = 0
+    resent_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -47,6 +52,13 @@ class PhaseBreakdown:
         else:
             self.messages += 1
             self.bytes += int(nbytes)
+
+    def add_resent(self, nbytes: int) -> None:
+        """Tag the most recent :meth:`add` as a retransmission.  The
+        message stays in ``messages``/``bytes`` (it really crossed the
+        network); this sub-counter lets certificate gating subtract it."""
+        self.resent_messages += 1
+        self.resent_bytes += int(nbytes)
 
 
 class TrafficStats:

@@ -10,6 +10,7 @@ from .optimizer import (
     DensityCurve,
     LayerPrediction,
     divisors_desc,
+    objective_volume,
     optimal_degrees,
     predict_layers,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "DensityCurve",
     "LayerPrediction",
     "predict_layers",
+    "objective_volume",
     "optimal_degrees",
     "divisors_desc",
 ]

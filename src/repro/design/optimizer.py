@@ -26,7 +26,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Protocol, Sequence
 
-__all__ = ["DensityCurve", "LayerPrediction", "predict_layers", "optimal_degrees", "divisors_desc"]
+__all__ = [
+    "DensityCurve",
+    "LayerPrediction",
+    "predict_layers",
+    "objective_volume",
+    "optimal_degrees",
+    "divisors_desc",
+]
 
 
 class DensityCurve(Protocol):
@@ -92,6 +99,30 @@ def predict_layers(
         if d:
             k *= d
     return rows
+
+
+def objective_volume(
+    curve: DensityCurve,
+    degrees: Sequence[int],
+    num_nodes: int,
+    *,
+    bytes_per_element: float = 8.0,
+) -> float:
+    """The §IV objective: predicted cluster-wide down-pass volume, in
+    bytes, of one degree stack.
+
+    This is the scalar :func:`optimal_degrees` minimizes (per layer,
+    greedily) and the number the plan certifier's exact per-layer
+    predictions are cross-checked against — the analytic model and the
+    symbolic certificate must rank degree stacks the same way.
+    """
+    return sum(
+        row.total_volume_elements * bytes_per_element
+        for row in predict_layers(
+            curve, degrees, num_nodes, bytes_per_element=bytes_per_element
+        )
+        if row.degree
+    )
 
 
 def optimal_degrees(

@@ -46,6 +46,9 @@ CATALOGUE: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
     "faults.injected": ("counter", ("kind",), "fault-oracle decisions applied (dropped/delayed/duplicated)"),
     "faults.resent": ("counter", ("phase", "layer"), "NACK-serviced retransmissions"),
     "faults.duplicates_dropped": ("counter", ("phase", "layer"), "receiver-side dedupe hits"),
+    "verify.cert.obligations": ("counter", ("obligation",), "certifier proof-obligation instances checked, per obligation"),
+    "verify.cert.discharged": ("counter", ("obligation",), "certifier proof-obligation instances discharged, per obligation"),
+    "verify.cert.fingerprint": ("gauge", (), "low 48 bits of the certified plan fingerprint"),
 }
 
 

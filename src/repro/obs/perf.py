@@ -62,6 +62,7 @@ DEFAULT_TOLERANCES: Dict[str, Optional[float]] = {
     "total_bytes": 0.0,
     "total_messages": 0.0,
     "layer_bytes": 0.0,
+    "predicted_bytes": 0.0,
 }
 
 #: Metrics whose values are wall-clock-derived on the real backend and
@@ -110,12 +111,24 @@ def measure(
         "total_messages": int(goblet.total_messages),
         "layer_bytes": {f"L{k}": int(v) for k, v in sorted(goblet.layers.items())},
     }
+    certified = None
+    if backend == "sim":
+        # Static-vs-dynamic consistency: the plan certifier predicts this
+        # experiment's traffic ahead of time; the observed stats must
+        # match it cell for cell (retransmissions excluded).
+        from ..verify.flow import certificate_for_experiment, check_traffic
+
+        cert = certificate_for_experiment(experiment, seed=seed)
+        metrics["predicted_bytes"] = int(cert.total_bytes)
+        stats = info.get("stats")
+        certified = stats is not None and not check_traffic(cert, stats)
     return {
         "key": f"{experiment}@{backend}",
         "experiment": experiment,
         "backend": backend,
         "seed": seed,
         "exact": bool(info.get("exact")),
+        "certified": certified,
         "metrics": metrics,
     }
 
@@ -289,6 +302,10 @@ def run_perf(
     for rec in records:
         if not rec["exact"]:
             lines.append(f"{rec['key']}: result DIVERGED from dense reference")
+        if rec.get("certified") is False:
+            lines.append(
+                f"{rec['key']}: traffic DIVERGED from the plan certificate"
+            )
 
     if update:
         try:
@@ -303,7 +320,8 @@ def run_perf(
             f"baseline {baseline_path} updated: "
             + ", ".join(rec["key"] for rec in records)
         )
-        return (0 if all(r["exact"] for r in records) else 1), "\n".join(lines)
+        ok = all(r["exact"] and r.get("certified") is not False for r in records)
+        return (0 if ok else 1), "\n".join(lines)
 
     try:
         doc = load_baseline(baseline_path)
@@ -342,5 +360,6 @@ def run_perf(
             json.dump(report_doc, fh, indent=2)
         lines.append(f"report written to {report_path}")
     exact_bad = sum(1 for r in records if not r["exact"])
-    code = 1 if (total_failures or exact_bad) else 0
+    uncertified = sum(1 for r in records if r.get("certified") is False)
+    code = 1 if (total_failures or exact_bad or uncertified) else 0
     return code, "\n".join(lines)

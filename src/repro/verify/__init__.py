@@ -12,6 +12,11 @@ Two engines, no simulation required for either:
   repo-specific rules (determinism of ``simul``/``allreduce``, no bare
   asserts in library code, explicit accumulator dtypes, declared
   ``__all__``).  CLI: ``python -m repro lint``.
+* **Plan certifier** — :mod:`repro.verify.flow` goes beyond the local
+  invariants: an abstract-interpretation pass over the plans proves
+  coverage and conservation end to end, predicts the exact
+  per-(phase, layer) traffic, and emits a certificate runtime stats are
+  gated against.  CLI: ``python -m repro certify``.
 
 :class:`ProtocolInvariantError` is re-exported here; library modules
 should import it from :mod:`repro.verify.errors` directly (that module
@@ -44,6 +49,18 @@ __all__ = [
     "all_rules",
     "lint_file",
     "lint_paths",
+    "Certificate",
+    "CertificationError",
+    "analyze_flow",
+    "certify",
+    "certificate_for_experiment",
+    "check_traffic",
+    "check_coverage",
+    "worst_case_loss",
+    "mutant_plans",
+    "plan_fingerprint",
+    "density_spec",
+    "emit_certificate_metrics",
 ]
 
 _LAZY = {
@@ -66,6 +83,18 @@ _LAZY = {
     "all_rules": "lint",
     "lint_file": "lint",
     "lint_paths": "lint",
+    "Certificate": "flow",
+    "CertificationError": "flow",
+    "analyze_flow": "flow",
+    "certify": "flow",
+    "certificate_for_experiment": "flow",
+    "check_traffic": "flow",
+    "check_coverage": "flow",
+    "worst_case_loss": "flow",
+    "mutant_plans": "flow",
+    "plan_fingerprint": "flow",
+    "density_spec": "flow",
+    "emit_certificate_metrics": "flow",
 }
 
 

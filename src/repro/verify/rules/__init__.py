@@ -11,7 +11,9 @@ from .broad_except import NoBroadExceptRule
 from .determinism import NoUnseededRngRule, NoWallClockRule
 from .dtypes import ExplicitDtypeRule
 from .exports import ModuleExportsRule
+from .mutable_defaults import NoMutableDefaultArgRule
 from .noprint import NoPrintRule
+from .spans import SpanBalanceRule
 from .timeouts import ExplicitTimeoutRule
 
 __all__ = [
@@ -23,7 +25,9 @@ __all__ = [
     "ExplicitDtypeRule",
     "ModuleExportsRule",
     "ExplicitTimeoutRule",
+    "NoMutableDefaultArgRule",
     "NoPrintRule",
+    "SpanBalanceRule",
 ]
 
 RULES = [
@@ -34,5 +38,7 @@ RULES = [
     ExplicitDtypeRule,
     ModuleExportsRule,
     ExplicitTimeoutRule,
+    NoMutableDefaultArgRule,
     NoPrintRule,
+    SpanBalanceRule,
 ]

@@ -1,0 +1,57 @@
+"""Rule: no mutable default arguments anywhere in the package.
+
+A ``def f(x, acc=[])`` default is evaluated once, at function
+definition, and the same list is then shared by every call — state
+leaks silently between invocations.  In this codebase that failure mode
+is especially nasty: plan builders and observers are re-entered across
+experiments, so a shared accumulator corrupts *later* runs while the
+first one passes.  Literal ``[]`` / ``{}`` / ``set()`` defaults (and
+their ``list()`` / ``dict()`` constructor spellings) are banned; use
+``None`` and create the object inside the function body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..lint import LintFinding, LintRule
+
+__all__ = ["NoMutableDefaultArgRule"]
+
+_MUTABLE_CTORS = ("list", "dict", "set")
+
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CTORS
+    )
+
+
+class NoMutableDefaultArgRule(LintRule):
+    name = "no-mutable-default-arg"
+    description = (
+        "function defaults must not be mutable ([]/{}/set() is evaluated "
+        "once and shared across calls); use None and create inside"
+    )
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable(default):
+                    yield self.finding(
+                        relpath,
+                        default,
+                        f"mutable default argument in {node.name}(); it is "
+                        "evaluated once and shared by every call — default "
+                        "to None and create the object in the body",
+                    )

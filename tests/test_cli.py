@@ -124,6 +124,31 @@ class TestCLI:
             cli_main(["perf", "not-an-experiment"])
 
 
+class TestDocsPins:
+    """The CLI table in docs/observability.md mirrors repro.__main__.COMMANDS
+    (the module docstring promises the test suite keeps them in sync)."""
+
+    def test_docs_commands_table_matches_cli(self):
+        import re
+        from pathlib import Path
+
+        docs = Path(__file__).resolve().parents[1] / "docs" / "observability.md"
+        text = docs.read_text()
+        table_rows = re.findall(r"^\| `([a-z]+)` \|", text, flags=re.MULTILINE)
+        assert table_rows, "the COMMANDS table went missing from the docs"
+        assert set(table_rows) == set(COMMANDS)
+        # the table preserves the CLI's own ordering
+        assert table_rows == list(COMMANDS)
+
+    def test_readme_cross_links_certification(self):
+        from pathlib import Path
+
+        readme = Path(__file__).resolve().parents[1] / "README.md"
+        text = readme.read_text()
+        assert "certify" in text
+        assert "docs/verify.md" in text
+
+
 class TestRunAll:
     def test_unknown_experiment_rejected(self, capsys):
         assert run_all_main(["not-a-figure"]) == 2

@@ -392,11 +392,16 @@ class TestSelfTimeMetric:
 
     def test_traced_run_emits_catalogued_metrics_only(self):
         from repro.obs import CATALOGUE
+        from repro.verify.flow import certificate_for_experiment, emit_certificate_metrics
 
         obs, _ = run_traced("faults", backend="sim", seed=0)
+        # a certified run additionally publishes the verify.cert.* family
+        cert = certificate_for_experiment("faults", seed=0)
+        emit_certificate_metrics(obs, cert, runtime_checked={"traffic-exact": 6})
         d = obs.metrics.as_dict()
         produced = set(d["counters"]) | set(d["gauges"]) | set(d["histograms"])
         assert produced, "a traced run must produce metrics"
+        assert "verify.cert.obligations" in produced
         missing = produced - set(CATALOGUE)
         assert not missing, f"metrics not in the catalogue: {sorted(missing)}"
 

@@ -13,9 +13,11 @@ from repro.verify.rules import (
     ModuleExportsRule,
     NoBareAssertRule,
     NoBroadExceptRule,
+    NoMutableDefaultArgRule,
     NoPrintRule,
     NoUnseededRngRule,
     NoWallClockRule,
+    SpanBalanceRule,
 )
 
 
@@ -277,6 +279,112 @@ class TestRuleFixtures:
         )
         assert lint_file(path, [NoBroadExceptRule()], relpath="cluster/fixture.py") == []
 
+    def test_no_mutable_default_fires_on_literals(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+
+            def collect(x, acc=[], index={}, seen=set(), tags=list()):
+                acc.append(x)
+                return acc, index, seen, tags
+            """,
+        )
+        findings = lint_file(
+            path, [NoMutableDefaultArgRule()], relpath="cluster/fixture.py"
+        )
+        assert rules_fired(findings) == {"no-mutable-default-arg"}
+        assert len(findings) == 4
+
+    def test_no_mutable_default_fires_on_kwonly_defaults(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+
+            def collect(x, *, acc={}):
+                return acc
+            """,
+        )
+        findings = lint_file(
+            path, [NoMutableDefaultArgRule()], relpath="obs/fixture.py"
+        )
+        assert rules_fired(findings) == {"no-mutable-default-arg"}
+
+    def test_immutable_defaults_are_clean(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+
+            def collect(x, acc=None, shape=(), name="x", k=0, flag=False):
+                return acc if acc is not None else [x]
+            """,
+        )
+        assert lint_file(
+            path, [NoMutableDefaultArgRule()], relpath="cluster/fixture.py"
+        ) == []
+
+    def test_span_balance_fires_on_unended_token(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+
+            def work(obs):
+                token = obs.begin("step", node=0)
+                return token is None
+            """,
+        )
+        findings = lint_file(path, [SpanBalanceRule()], relpath="obs/fixture.py")
+        assert rules_fired(findings) == {"span-balance"}
+        assert "token" in findings[0].message
+
+    def test_span_balance_fires_on_discarded_begin(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+
+            def work(obs):
+                obs.begin("step", node=0)
+            """,
+        )
+        findings = lint_file(path, [SpanBalanceRule()], relpath="obs/fixture.py")
+        assert rules_fired(findings) == {"span-balance"}
+
+    def test_span_balance_accepts_matched_pair_and_ctx_manager(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+
+            def balanced(obs, clock):
+                token = obs.begin("step", node=0)
+                try:
+                    clock.tick()
+                finally:
+                    obs.end(token)
+
+            def managed(obs, clock):
+                with obs.span("step", node=0):
+                    clock.tick()
+            """,
+        )
+        assert lint_file(path, [SpanBalanceRule()], relpath="obs/fixture.py") == []
+
+    def test_span_balance_exempts_cli_faces(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+
+            def main(obs):
+                obs.begin("step", node=0)
+            """,
+        )
+        assert lint_file(path, [SpanBalanceRule()], relpath="__main__.py") == []
+
     def test_syntax_error_is_reported_not_raised(self, tmp_path):
         path = write_fixture(tmp_path, "def broken(:\n")
         findings = lint_file(path)
@@ -302,7 +410,9 @@ class TestPackageClean:
             "explicit-dtype",
             "module-exports",
             "explicit-timeout",
+            "no-mutable-default-arg",
             "no-print",
+            "span-balance",
         }
 
 
