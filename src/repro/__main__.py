@@ -34,7 +34,7 @@ COMMANDS: dict[str, tuple[str, str]] = {
     ),
     "lint": ("[paths...]", "run the repo-specific AST lint; exit 1 on findings"),
     "trace": (
-        "[experiment] [--backend sim|local] [--out FILE]",
+        "[experiment] [--backend sim|local|tcp] [--kill N:PHASE:L] [--out FILE]",
         "run a named experiment observed; export a Chrome-trace JSON",
     ),
     "analyze": (
@@ -48,6 +48,18 @@ COMMANDS: dict[str, tuple[str, str]] = {
     "explore": (
         "[--nodes N] [--degrees D,D] [--bound K] [--faults none|drop]",
         "model-check the protocol across event schedules; exit 1 on violation",
+    ),
+    "node": (
+        "--rank R [--host H] [--port P]",
+        "run one TCP cluster node server (announces READY, serves sessions)",
+    ),
+    "run-cluster": (
+        "--size N [--attach host:port,...] [--stop] [--manifest FILE]",
+        "spawn a loopback node cluster (or attach/stop one); write the manifest",
+    ),
+    "drive-cluster": (
+        "[workload] [--failure-mode MODE] [--rounds K] [--manifest FILE]",
+        "drive a launched cluster through a workload under a failure mode",
     ),
 }
 
@@ -434,7 +446,14 @@ def _trace(args: list[str]) -> int:
         "--backend",
         default="sim",
         choices=list(BACKENDS),
-        help="simulated cluster or real OS processes (default: sim)",
+        help="simulated cluster, real OS processes, or loopback TCP "
+        "(default: sim)",
+    )
+    parser.add_argument(
+        "--kill", default=None, metavar="N:PHASE:L",
+        help="crash node N before its first send at (PHASE, layer L) — "
+        "PHASE is down or up; switches the run to degraded completion and "
+        "gates the coverage report against the static worst-case bound",
     )
     parser.add_argument(
         "--out", default="trace.json", help="Chrome-trace output path"
@@ -445,8 +464,23 @@ def _trace(args: list[str]) -> int:
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     opts = parser.parse_args(args)
 
-    obs, info = run_traced(opts.experiment, backend=opts.backend, seed=opts.seed)
-    meta = {k: v for k, v in info.items() if k != "stats"}
+    kill = None
+    if opts.kill is not None:
+        bits = opts.kill.split(":")
+        if len(bits) != 3 or bits[1] not in ("config", "down", "up"):
+            parser.error(
+                f"--kill must be N:PHASE:L with PHASE in config|down|up, "
+                f"got {opts.kill!r}"
+            )
+        try:
+            kill = (int(bits[0]), bits[1], int(bits[2]))
+        except ValueError:
+            parser.error(f"--kill node and layer must be integers, got {opts.kill!r}")
+
+    obs, info = run_traced(
+        opts.experiment, backend=opts.backend, seed=opts.seed, kill=kill
+    )
+    meta = {k: v for k, v in info.items() if k not in ("stats", "report")}
     doc = chrome_trace(obs, meta=meta)
     errors = validate_chrome_trace(doc)
     if errors:
@@ -462,6 +496,42 @@ def _trace(args: list[str]) -> int:
     print(f"  exact vs dense reference: {'yes' if info['exact'] else 'NO'}")
     print(f"  trace: {opts.out} ({len(doc['traceEvents'])} events)"
           + (f"   metrics: {opts.metrics}" if opts.metrics else ""))
+    if kill is not None:
+        report = info.get("report")
+        if report is None:
+            print("  no coverage report produced under --kill")
+            return 1
+        print("  " + report.summary().replace("\n", "\n  "))
+        from .obs.runner import EXPERIMENTS as _EXP
+
+        from .allreduce import ReduceSpec
+        from .allreduce.topology import ButterflyTopology
+        from .faults import FaultPlan
+        from .verify.flow import worst_case_loss
+
+        w = _EXP[opts.experiment](opts.seed)
+        spec = ReduceSpec(in_indices=w["in_idx"], out_indices=w["out_idx"])
+        plan = (w.get("faults") or FaultPlan(seed=opts.seed)).kill_at_step(
+            kill[0], kill[1], kill[2]
+        )
+        bound = worst_case_loss(
+            ButterflyTopology(w["degrees"], w["m"]), spec, None, plan
+        )
+        bad = []
+        for rank, lost in sorted(report.lost_indices.items()):
+            extra = np.setdiff1d(
+                np.asarray(lost, dtype=np.int64),
+                bound.get(rank, np.empty(0, dtype=np.int64)),
+            )
+            if extra.size:
+                bad.append(f"rank {rank}: {extra.size} indices outside the bound")
+        if bad:
+            for line in bad:
+                print(f"  coverage-bound violation: {line}")
+            return 1
+        print("  coverage within the static worst-case bound")
+    if not info["exact"]:
+        return 1
     return 0
 
 
@@ -671,6 +741,220 @@ def _explore(args: list[str]) -> int:
     return 1
 
 
+def _node(args: list[str]) -> int:
+    import argparse
+
+    from .net.cluster import serve_node
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro node",
+        description="one TCP cluster node server: binds a listener, announces "
+        "a KYLIX-NODE READY line on stdout, then serves driver sessions "
+        "until a shutdown frame (or SIGTERM) arrives",
+    )
+    parser.add_argument("--rank", type=int, required=True, help="this node's rank")
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (default: 0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="exit after serving a single session (test harness use)",
+    )
+    opts = parser.parse_args(args)
+    if opts.rank < 0:
+        parser.error("--rank must be >= 0")
+    return serve_node(opts.rank, opts.host, opts.port, once=opts.once)
+
+
+def _run_cluster(args: list[str]) -> int:
+    import argparse
+
+    from .net.cluster import (
+        DEFAULT_MANIFEST,
+        attach_cluster,
+        launch_cluster,
+        stop_cluster,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run-cluster",
+        description="spawn a loopback cluster of node processes (or attach "
+        "to / stop an existing one) and write the cluster_procs.json "
+        "manifest the experiment driver consumes",
+    )
+    parser.add_argument(
+        "--size", type=int, default=None, help="number of nodes to spawn"
+    )
+    parser.add_argument(
+        "--attach", default=None, metavar="HOST:PORT,...",
+        help="attach to already-running nodes instead of spawning",
+    )
+    parser.add_argument(
+        "--stop", action="store_true", help="tear the manifested cluster down"
+    )
+    parser.add_argument(
+        "--manifest", default=DEFAULT_MANIFEST,
+        help=f"manifest path (default: {DEFAULT_MANIFEST})",
+    )
+    parser.add_argument(
+        "--log-dir", default=".kylix-cluster",
+        help="node log directory (default: .kylix-cluster)",
+    )
+    opts = parser.parse_args(args)
+    modes = sum(bool(x) for x in (opts.size, opts.attach, opts.stop))
+    if modes != 1:
+        parser.error("choose exactly one of --size, --attach, --stop")
+    if opts.stop:
+        try:
+            n = stop_cluster(opts.manifest)
+        except OSError as exc:
+            print(f"run-cluster: cannot read {opts.manifest}: {exc}")
+            return 2
+        print(f"stopped {n} node(s); removed {opts.manifest}")
+        return 0
+    try:
+        if opts.attach:
+            manifest = attach_cluster(
+                [e.strip() for e in opts.attach.split(",") if e.strip()],
+                manifest_path=opts.manifest,
+            )
+        else:
+            manifest = launch_cluster(
+                opts.size, log_dir=opts.log_dir, manifest_path=opts.manifest
+            )
+    except (RuntimeError, ValueError, OSError) as exc:
+        print(f"run-cluster: {exc}")
+        return 1
+    nodes = manifest["nodes"]
+    print(f"cluster of {len(nodes)} node(s) ready — manifest: {opts.manifest}")
+    for name in sorted(nodes, key=lambda k: nodes[k]["rank"]):
+        n = nodes[name]
+        print(f"  {name}: rank {n['rank']}  {n['host']}:{n['port']}"
+              f"  pid {n['pid']}" + (f"  log {n['log']}" if n.get("log") else ""))
+    return 0
+
+
+def _drive_cluster(args: list[str]) -> int:
+    import argparse
+    import json
+
+    from .net.cluster import DEFAULT_MANIFEST, FAILURE_MODES, drive_cluster, load_manifest
+    from .obs import Observer, chrome_trace, validate_chrome_trace
+    from .obs.runner import EXPERIMENTS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro drive-cluster",
+        description="drive a launched TCP cluster through a named workload "
+        "under a failure mode; exactness is checked against the dense "
+        "reference and degraded coverage is gated against the static "
+        "worst-case-loss bound",
+    )
+    parser.add_argument(
+        "workload",
+        nargs="?",
+        default="quickstart",
+        choices=sorted(EXPERIMENTS),
+        help="named workload (default: quickstart); its node count must "
+        "match the manifest",
+    )
+    parser.add_argument(
+        "--failure-mode", default="none", choices=list(FAILURE_MODES),
+        help="deterministic fault schedule to run under (default: none)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=1, help="reduction rounds (default: 1)"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="keep cycling rounds until this much wall time has passed",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=1,
+        help="rounds batched per session wave (default: 1)",
+    )
+    parser.add_argument(
+        "--manifest", default=DEFAULT_MANIFEST,
+        help=f"manifest path (default: {DEFAULT_MANIFEST})",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload/fault seed")
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="export the merged Chrome trace of the driven run here",
+    )
+    opts = parser.parse_args(args)
+    try:
+        manifest = load_manifest(opts.manifest)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"drive-cluster: cannot load {opts.manifest}: {exc}")
+        return 2
+    obs = Observer(name=f"{opts.workload}@cluster") if opts.trace_out else None
+    try:
+        outcome = drive_cluster(
+            manifest,
+            workload=opts.workload,
+            rounds=opts.rounds,
+            duration=opts.duration,
+            concurrency=opts.concurrency,
+            failure_mode=opts.failure_mode,
+            seed=opts.seed,
+            observe=obs,
+        )
+    except (RuntimeError, ValueError) as exc:
+        print(f"drive-cluster: {exc}")
+        return 1
+    print(
+        f"{outcome['workload']} on {manifest['cluster']['size']} nodes — "
+        f"mode {outcome['failure_mode']}, seed {outcome['seed']}: "
+        f"{outcome['rounds_run']} round(s) in {outcome['waves']} wave(s), "
+        f"{outcome['elapsed']:.2f}s"
+    )
+    print(
+        f"  exact: {outcome['exact_rounds']}/{outcome['checked_rounds']} "
+        "checked rank-rounds"
+    )
+    for err in outcome["errors"]:
+        print(f"  note: {err}")
+    ok = True
+    if "coverage" in outcome:
+        print("  " + outcome["coverage"].replace("\n", "\n  "))
+        if outcome["bound_ok"]:
+            print("  coverage within the static worst-case bound")
+        else:
+            for v in outcome["bound_violations"]:
+                print(f"  coverage-bound violation: {v}")
+            ok = False
+        if outcome["dead_ranks"]:
+            print(f"  dead ranks: {sorted(outcome['dead_ranks'])}")
+    else:
+        # Lossless modes: every rank-round must come back and be exact.
+        if (
+            outcome["checked_rounds"] != outcome["exact_rounds"]
+            or outcome["errors"]
+            or outcome["dead_ranks"]
+        ):
+            ok = False
+        if outcome["checked_rounds"] == 0:
+            print("  no results came back from any node")
+            ok = False
+    if opts.trace_out and obs is not None:
+        doc = chrome_trace(obs, meta={"workload": opts.workload,
+                                      "failure_mode": opts.failure_mode,
+                                      "seed": opts.seed})
+        errors = validate_chrome_trace(doc)
+        if errors:
+            for e in errors:
+                print(f"  trace schema violation: {e}")
+            ok = False
+        else:
+            with open(opts.trace_out, "w") as fh:
+                json.dump(doc, fh)
+            print(f"  trace: {opts.trace_out} ({len(doc['traceEvents'])} events)")
+    return 0 if ok else 1
+
+
 def main(argv: list[str]) -> int:
     if not argv or argv[0] in ("-h", "--help", "help"):
         print(_usage())
@@ -698,6 +982,12 @@ def main(argv: list[str]) -> int:
         return _perf(rest)
     if cmd == "explore":
         return _explore(rest)
+    if cmd == "node":
+        return _node(rest)
+    if cmd == "run-cluster":
+        return _run_cluster(rest)
+    if cmd == "drive-cluster":
+        return _drive_cluster(rest)
     print(f"unknown command {cmd!r}\n")
     print(_usage())
     return 2

@@ -16,7 +16,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["RetryPolicy", "derive_timeout"]
+import numpy as np
+
+__all__ = ["RetryPolicy", "derive_timeout", "DEFAULT_LOCAL_BASE_TIMEOUT"]
+
+#: Wall-clock base for the first receive attempt on the real-execution
+#: backends (seconds).  Loopback pipes and sockets are fast; the backoff
+#: ladder covers slow CI machines.
+DEFAULT_LOCAL_BASE_TIMEOUT = 0.25
 
 
 def derive_timeout(params, nbytes: int, *, scale: float = 8.0, floor: float = 1e-4) -> float:
@@ -55,12 +62,27 @@ class RetryPolicy:
         :func:`derive_timeout`.
     timeout_scale:
         Safety factor handed to :func:`derive_timeout` when deriving.
+    jitter:
+        Fraction in ``[0, 1]`` of each deadline added as *seeded,
+        deterministic* jitter.  Receivers that all lost the same message
+        (a peer rebooting, a switch hiccup) would otherwise time out in
+        lockstep and stampede the recovering peer with synchronized
+        NACKs; jitter desynchronizes the retry wave.  ``0.0`` (the
+        default) leaves every deadline bit-identical to a jitter-free
+        policy — the fault schedule, the traffic, and the trace do not
+        change.
+    jitter_seed:
+        Seed for the jitter draws.  The draw is a pure function of
+        ``(jitter_seed, attempt, salt)``, so identical configurations
+        retry at identical instants across runs and backends.
     """
 
     max_retries: int = 4
     backoff: float = 2.0
     base_timeout: float | None = None
     timeout_scale: float = 8.0
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self):
         if self.max_retries < 0:
@@ -71,20 +93,82 @@ class RetryPolicy:
             raise ValueError("base_timeout must be positive")
         if self.timeout_scale <= 0:
             raise ValueError("timeout_scale must be positive")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.jitter_seed < 0:
+            raise ValueError("jitter_seed must be non-negative")
 
-    def timeout_for(self, params, nbytes: int, attempt: int = 0) -> float:
+    def _jitter_factor(self, attempt: int, salt: tuple = ()) -> float:
+        """Deterministic multiplier in ``[1, 1 + jitter]`` for one deadline.
+
+        A pure function of ``(jitter_seed, attempt, salt)`` — the same
+        coordinates the fault oracle uses — so runs are reproducible and
+        the two real-execution backends draw identical jitter for the
+        same protocol position.
+        """
+        if self.jitter == 0.0:
+            return 1.0
+        rng = np.random.default_rng(
+            [self.jitter_seed, attempt + 1, *(int(s) + 1 for s in salt)]
+        )
+        return 1.0 + self.jitter * float(rng.random())
+
+    def timeout_for(
+        self, params, nbytes: int, attempt: int = 0, salt: tuple = ()
+    ) -> float:
         """Deadline for attempt ``attempt`` (0-based) of one receive."""
         if self.base_timeout is not None:
             first = self.base_timeout
         else:
             first = derive_timeout(params, nbytes, scale=self.timeout_scale)
-        return first * self.backoff**attempt
+        return first * self.backoff**attempt * self._jitter_factor(attempt, salt)
+
+    def local_timeout(self, attempt: int = 0, salt: tuple = ()) -> float:
+        """Wall-clock deadline for the real-execution backends.
+
+        There is no netmodel envelope to derive from on a real host, so
+        the first attempt is ``base_timeout`` (or
+        :data:`DEFAULT_LOCAL_BASE_TIMEOUT`) and each retry scales it by
+        ``backoff``, plus the seeded jitter.
+        """
+        base = (
+            self.base_timeout
+            if self.base_timeout is not None
+            else DEFAULT_LOCAL_BASE_TIMEOUT
+        )
+        return base * self.backoff**attempt * self._jitter_factor(attempt, salt)
+
+    def local_budget(self) -> float:
+        """Worst-case wall time one receive can take on a real backend.
+
+        The sum of every attempt's maximum deadline (jitter included).
+        Sender-thread join windows are derived from this, so an
+        aggressive retry configuration (many retries, steep backoff)
+        can never outlive the join budget — the window grows with the
+        policy instead of being a hard-coded constant.
+        """
+        base = (
+            self.base_timeout
+            if self.base_timeout is not None
+            else DEFAULT_LOCAL_BASE_TIMEOUT
+        )
+        ladder = sum(
+            base * self.backoff**attempt
+            for attempt in range(self.max_retries + 1)
+        )
+        return ladder * (1.0 + self.jitter)
 
     def total_budget(self, params, nbytes: int) -> float:
         """Worst-case wall time before a receive gives up — the bound the
         acceptance criteria ("no run hangs past its deadline bound") refer
-        to."""
-        return sum(
-            self.timeout_for(params, nbytes, attempt)
+        to.  Jitter is counted at its maximum, so the bound holds for
+        every seed."""
+        if self.base_timeout is not None:
+            first = self.base_timeout
+        else:
+            first = derive_timeout(params, nbytes, scale=self.timeout_scale)
+        ladder = sum(
+            first * self.backoff**attempt
             for attempt in range(self.max_retries + 1)
         )
+        return ladder * (1.0 + self.jitter)

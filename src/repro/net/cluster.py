@@ -1,0 +1,756 @@
+"""Cluster harness for the TCP backend: launcher, node server, driver.
+
+This is the operational shell the ROADMAP's "real TCP backend + cluster
+harness" item specifies, shaped after the classic three-piece harness of
+distributed-systems repos:
+
+* **Node server** (:func:`serve_node`, ``python -m repro node``) — one
+  long-lived process per logical rank.  Binds a listener, announces
+  ``KYLIX-NODE READY rank=.. host=.. port=.. pid=..`` on stdout, then
+  serves *sessions*: the driver connects and ships a session frame with
+  the peer address map, this rank's slice of the workload, the fault
+  plan, and the retry policy; the node forms the socket mesh with its
+  peers (:class:`~repro.net.tcp.TcpTransport`), runs the requested
+  reduction rounds through the shared protocol body, and returns
+  results + coverage + an observer snapshot on the control connection.
+* **Launcher** (:func:`launch_cluster`, ``python -m repro run-cluster``)
+  — spawns N node processes on loopback (or *attaches* to nodes you
+  started yourself on other hosts, probing each with a ping frame),
+  parses their READY lines, and writes the ``cluster_procs.json``
+  manifest that every other tool consumes.  ``--stop`` tears a cluster
+  down: shutdown frames first, SIGTERM for stragglers, manifest removed.
+* **Driver** (:func:`drive_cluster`, ``python -m repro drive-cluster``)
+  — consumes the manifest, runs a named workload for a round count or
+  wall duration with a chosen ``--failure-mode``, checks exactness
+  against the dense reference, gates degraded coverage against the
+  static :func:`~repro.verify.flow.worst_case_loss` bound, and can
+  export the merged Chrome trace.
+
+Failure modes reuse :class:`~repro.faults.FaultPlan`, so the *identical*
+deterministic fault schedule a mode denotes here can be replayed on the
+simulator and the pipe backend — that is the whole point: one schedule,
+three media.
+
+Manifest schema (``cluster_procs.json``)::
+
+    {
+      "cluster": {"size": 4, "host": "127.0.0.1", "workdir": "..."},
+      "nodes": {
+        "node0": {"rank": 0, "pid": 12345, "host": "127.0.0.1",
+                   "port": 40001, "log": ".kylix-cluster/node-0.log"},
+        ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..faults import (
+    CoverageReport,
+    FaultPlan,
+    LinkFault,
+    LossRecord,
+    PeerFailedError,
+    RetryPolicy,
+)
+from ..obs import NULL_OBSERVER, Observer
+from .framing import FrameError, encode_frame, recv_frame
+from .protocol import run_combined
+from .tcp import TcpTransport, loopback_listener
+from .transport import POLL_INTERVAL
+
+__all__ = [
+    "DEFAULT_MANIFEST",
+    "FAILURE_MODES",
+    "serve_node",
+    "launch_cluster",
+    "attach_cluster",
+    "stop_cluster",
+    "load_manifest",
+    "drive_cluster",
+]
+
+DEFAULT_MANIFEST = "cluster_procs.json"
+DEFAULT_LOG_DIR = ".kylix-cluster"
+FAILURE_MODES = ("none", "crash", "slow-node", "partition")
+
+#: The deliberately afflicted rank in crash/slow-node/partition modes —
+#: deterministic so a mode + seed fully names its fault schedule.
+VICTIM_RANK = 1
+#: Fixed straggler penalty for ``slow-node`` (matches the simulator's
+#: ``straggler`` experiment scale: late, not lost).
+SLOW_NODE_DELAY = 0.05
+
+
+# ---------------------------------------------------------------------------
+# Node server
+# ---------------------------------------------------------------------------
+
+def serve_node(
+    rank: int,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    once: bool = False,
+    ready_stream=None,
+) -> int:
+    """One cluster node: announce READY, then serve driver sessions.
+
+    The single listener serves three frame kinds: peer ``hello`` frames
+    that raced the session setup (stashed and handed to the transport),
+    driver ``ping`` probes (answered with ``pong`` + rank/pid, used by
+    :func:`attach_cluster`), and driver ``session`` frames.  A
+    ``shutdown`` frame ends the loop.
+    """
+    stream = ready_stream if ready_stream is not None else sys.stdout
+    listener = loopback_listener(host, port, backlog=64)
+    actual = listener.getsockname()[1]
+    stream.write(
+        f"KYLIX-NODE READY rank={rank} host={host} port={actual} pid={os.getpid()}\n"
+    )
+    stream.flush()
+    pending: List[Tuple[int, socket.socket]] = []
+    # Driver connections accepted by a *session's* transport while it was
+    # winding down (their first frame is not a peer hello) land here and
+    # are served before the next accept — nothing is dropped in the race.
+    stray: List[Tuple[Any, socket.socket]] = []
+    try:
+        while True:
+            if stray:
+                frame, sock = stray.pop(0)
+            else:
+                try:
+                    sock, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                try:
+                    ok, frame = recv_frame(sock, timeout=5.0)
+                except (OSError, FrameError):
+                    sock.close()
+                    continue
+                if not ok or not isinstance(frame, tuple):
+                    sock.close()
+                    continue
+            kind = frame[0]
+            if kind == "hello":
+                pending.append((int(frame[1]), sock))
+            elif kind == "ping":
+                try:
+                    sock.sendall(encode_frame(("pong", rank, os.getpid())))
+                finally:
+                    sock.close()
+            elif kind == "shutdown":
+                try:
+                    sock.sendall(encode_frame(("bye", rank)))
+                finally:
+                    sock.close()
+                return 0
+            elif kind == "session":
+                _run_session(rank, listener, sock, frame[1], pending, stray)
+                pending = []
+                if once:
+                    return 0
+            else:
+                sock.close()
+    finally:
+        listener.close()
+
+
+def _run_session(
+    rank: int, listener, control: socket.socket, cfg: Dict[str, Any], pending,
+    stray,
+) -> None:
+    """Run one driver session: mesh up, reduce ``rounds`` times, report."""
+    plan: Optional[FaultPlan] = cfg.get("plan")
+    retry: RetryPolicy = cfg.get("retry") or RetryPolicy()
+    degrade = bool(cfg.get("degrade", False))
+    observe = bool(cfg.get("observe", False))
+    obs = Observer(name=f"node {rank}") if observe else NULL_OBSERVER
+    step_kill = plan.step_kill_for(rank) if plan is not None else None
+    if plan is not None and not plan.is_alive(rank, 0.0):
+        os._exit(1)  # dead from the start: a real process death
+
+    def maybe_crash(kind: str, layer: int) -> None:
+        if step_kill is not None and step_kill == (kind, layer):
+            os._exit(1)  # the SIGKILL-equivalent: no goodbye frames
+
+    net = TcpTransport(
+        rank,
+        plan,
+        retry,
+        obs=obs,
+        hb_interval=float(cfg.get("hb_interval", 0.25)),
+        hb_timeout=float(cfg.get("hb_timeout", 5.0)),
+    )
+    net.keep_listener = True  # the node's listener outlives the session
+    net.on_stray = lambda frame, sock: stray.append((frame, sock))
+    rounds_out: List[Tuple[int, Any, Any, Tuple[LossRecord, ...]]] = []
+    err = None
+    try:
+        net.form_mesh(
+            listener,
+            cfg["addrs"],
+            timeout=float(cfg.get("mesh_timeout", 10.0)),
+            pending=pending,
+        )
+        for rnd in range(int(cfg.get("rounds", 1))):
+            result, lost_raw, losses = run_combined(
+                rank,
+                net,
+                degrees=cfg["degrees"],
+                multiplier=cfg["multiplier"],
+                op=cfg["op"],
+                strict=bool(cfg.get("strict", True)),
+                value_shape=tuple(cfg.get("value_shape", ())),
+                dtype_str=cfg["dtype_str"],
+                in_idx=cfg["in_idx"],
+                out_idx=cfg["out_idx"],
+                values=cfg["values"],
+                retry=retry,
+                obs=obs,
+                degrade=degrade,
+                seq=rnd,
+                maybe_crash=maybe_crash,
+            )
+            rounds_out.append((rnd, result, lost_raw, tuple(losses)))
+    except PeerFailedError as exc:
+        err = ("peer", exc.slot, exc.phase, exc.layer, str(exc))
+    except Exception as exc:  # pragma: no cover - surfaced at the driver
+        err = f"{type(exc).__name__}: {exc}"
+    try:
+        # Slow peers may still want resends of our final up-parts; give
+        # the NACK layer a short grace before tearing the mesh down.
+        net.linger(threading.Event(), budget=min(0.5, retry.local_budget()))
+        control.sendall(
+            encode_frame(
+                (
+                    "result",
+                    rank,
+                    err,
+                    rounds_out,
+                    obs.snapshot() if obs.enabled else None,
+                )
+            )
+        )
+    except OSError:  # pragma: no cover - driver went away
+        pass
+    finally:
+        control.close()
+        net.close()
+
+
+# ---------------------------------------------------------------------------
+# Launcher
+# ---------------------------------------------------------------------------
+
+def launch_cluster(
+    size: int,
+    *,
+    host: str = "127.0.0.1",
+    log_dir: str = DEFAULT_LOG_DIR,
+    manifest_path: str = DEFAULT_MANIFEST,
+    python: Optional[str] = None,
+    ready_timeout: float = 30.0,
+) -> Dict[str, Any]:
+    """Spawn ``size`` node processes on loopback; write the manifest.
+
+    Each node's stdout/stderr goes to ``<log_dir>/node-<rank>.log``; the
+    READY line is parsed out of the log to learn the bound port.  A node
+    that never announces within ``ready_timeout`` aborts the launch (the
+    already-spawned nodes are terminated — no strays).
+    """
+    if size < 1:
+        raise ValueError("cluster size must be >= 1")
+    os.makedirs(log_dir, exist_ok=True)
+    python = python or sys.executable
+    procs: Dict[int, subprocess.Popen] = {}
+    logs: Dict[int, str] = {}
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    try:
+        for r in range(size):
+            log_path = os.path.join(log_dir, f"node-{r}.log")
+            logs[r] = log_path
+            with open(log_path, "w") as log:
+                procs[r] = subprocess.Popen(
+                    [python, "-m", "repro", "node",
+                     "--rank", str(r), "--host", host, "--port", "0"],
+                    stdout=log,
+                    stderr=subprocess.STDOUT,
+                    env=env,
+                )
+        nodes: Dict[str, Any] = {}
+        deadline = time.monotonic() + ready_timeout
+        for r in range(size):
+            port = None
+            while time.monotonic() < deadline:
+                # Popen.poll() is non-blocking by contract (no timeout
+                # parameter exists) — it reaps an exited child or
+                # returns immediately.
+                if procs[r].poll() is not None:  # lint: ok
+                    raise RuntimeError(
+                        f"node {r} exited with code {procs[r].returncode} "
+                        f"before READY (see {logs[r]})"
+                    )
+                port = _parse_ready(logs[r])
+                if port is not None:
+                    break
+                time.sleep(POLL_INTERVAL * 10)
+            if port is None:
+                raise RuntimeError(
+                    f"node {r} not READY within {ready_timeout}s (see {logs[r]})"
+                )
+            nodes[f"node{r}"] = {
+                "rank": r,
+                "pid": procs[r].pid,
+                "host": host,
+                "port": port,
+                "log": logs[r],
+            }
+    except Exception:
+        for p in procs.values():
+            if p.poll() is None:  # lint: ok — Popen.poll() never blocks
+                p.terminate()
+        raise
+    manifest = {
+        "cluster": {"size": size, "host": host, "workdir": os.getcwd()},
+        "nodes": nodes,
+    }
+    with open(manifest_path, "w") as fh:
+        json.dump(manifest, fh, indent=2)
+    return manifest
+
+
+def _parse_ready(log_path: str) -> Optional[int]:
+    try:
+        with open(log_path) as fh:
+            for line in fh:
+                if line.startswith("KYLIX-NODE READY"):
+                    fields = dict(
+                        kv.split("=", 1) for kv in line.split()[2:] if "=" in kv
+                    )
+                    return int(fields["port"])
+    except (OSError, KeyError, ValueError):
+        return None
+    return None
+
+
+def attach_cluster(
+    endpoints: Sequence[str],
+    *,
+    manifest_path: str = DEFAULT_MANIFEST,
+    probe_timeout: float = 5.0,
+) -> Dict[str, Any]:
+    """Build a manifest from already-running nodes (``host:port`` list).
+
+    This is the host-list path: start ``python -m repro node`` yourself
+    on each machine, then attach.  Every endpoint is probed with a ping
+    frame; the node's announced rank and pid land in the manifest.
+    """
+    nodes: Dict[str, Any] = {}
+    for ep in endpoints:
+        host, _, port_s = ep.rpartition(":")
+        if not host or not port_s.isdigit():
+            raise ValueError(f"endpoint {ep!r} is not host:port")
+        sock = socket.create_connection((host, int(port_s)), timeout=probe_timeout)
+        try:
+            sock.sendall(encode_frame(("ping",)))
+            ok, pong = recv_frame(sock, timeout=probe_timeout)
+        finally:
+            sock.close()
+        if not ok or pong[0] != "pong":
+            raise RuntimeError(f"endpoint {ep} did not answer the ping probe")
+        rank, pid = int(pong[1]), int(pong[2])
+        nodes[f"node{rank}"] = {
+            "rank": rank, "pid": pid, "host": host, "port": int(port_s),
+            "log": None,
+        }
+    size = len(nodes)
+    if sorted(n["rank"] for n in nodes.values()) != list(range(size)):
+        raise RuntimeError(
+            f"attached ranks {sorted(n['rank'] for n in nodes.values())} do not "
+            f"form 0..{size - 1}"
+        )
+    manifest = {
+        "cluster": {"size": size, "host": None, "workdir": os.getcwd()},
+        "nodes": nodes,
+    }
+    with open(manifest_path, "w") as fh:
+        json.dump(manifest, fh, indent=2)
+    return manifest
+
+
+def load_manifest(manifest_path: str = DEFAULT_MANIFEST) -> Dict[str, Any]:
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    size = manifest["cluster"]["size"]
+    ranks = sorted(n["rank"] for n in manifest["nodes"].values())
+    if ranks != list(range(size)):
+        raise ValueError(f"manifest ranks {ranks} do not cover 0..{size - 1}")
+    return manifest
+
+
+def stop_cluster(
+    manifest_path: str = DEFAULT_MANIFEST, *, grace: float = 5.0
+) -> int:
+    """Tear a launched cluster down: shutdown frames, then SIGTERM.
+
+    Returns the number of nodes that acknowledged or died.  The manifest
+    file is removed on success so stale state cannot be re-driven.
+    """
+    manifest = load_manifest(manifest_path)
+    stopped = 0
+    for node in manifest["nodes"].values():
+        if _send_shutdown(node["host"], node["port"]):
+            stopped += 1
+            continue
+        pid = node.get("pid")
+        if pid:
+            try:
+                os.kill(pid, signal.SIGTERM)
+                stopped += 1
+            except (OSError, ProcessLookupError):
+                pass
+    deadline = time.monotonic() + grace
+    for node in manifest["nodes"].values():
+        pid = node.get("pid")
+        while pid and _pid_alive(pid) and time.monotonic() < deadline:
+            _reap_if_child(pid)
+            time.sleep(POLL_INTERVAL * 10)
+        if pid and _pid_alive(pid):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):  # pragma: no cover
+                pass
+            kill_deadline = time.monotonic() + 2.0
+            while _pid_alive(pid) and time.monotonic() < kill_deadline:
+                _reap_if_child(pid)
+                time.sleep(POLL_INTERVAL)
+    os.remove(manifest_path)
+    return stopped
+
+
+def _reap_if_child(pid: int) -> None:
+    """Collect the exit status if ``pid`` is our child — an exited node
+    otherwise lingers as a zombie, and ``kill(pid, 0)`` keeps reporting
+    it alive (the launcher and the stopper usually share a process)."""
+    try:
+        os.waitpid(pid, os.WNOHANG)
+    except (ChildProcessError, OSError):
+        pass
+
+
+def _send_shutdown(host: str, port: int) -> bool:
+    try:
+        sock = socket.create_connection((host, port), timeout=2.0)
+    except OSError:
+        return False
+    try:
+        sock.sendall(encode_frame(("shutdown",)))
+        ok, _ = recv_frame(sock, timeout=2.0)
+        return ok
+    except (OSError, FrameError):
+        return False
+    finally:
+        sock.close()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # pragma: no cover - e.g. EPERM
+        return True
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Experiment driver
+# ---------------------------------------------------------------------------
+
+def _failure_plan(
+    mode: str, base: Optional[FaultPlan], m: int, seed: int
+) -> Tuple[Optional[FaultPlan], Optional[RetryPolicy], bool, Optional[FaultPlan]]:
+    """(plan, retry override, degrade, bound plan) for one failure mode.
+
+    Every mode is expressed as a :class:`FaultPlan`, so the exact same
+    schedule replays on the simulator and the pipe backend.  The *bound
+    plan* is the kill-equivalent schedule the static
+    :func:`~repro.verify.flow.worst_case_loss` gate understands: a
+    silently partitioned node and a crashed node both contribute nothing
+    and return nothing, so both are bounded by "victim dead at start".
+    """
+    victim = VICTIM_RANK % m
+    if mode == "none":
+        return base, None, False, None
+    plan = (base or FaultPlan()).with_seed(seed)
+    if mode == "crash":
+        # Die right before the first value send of layer 1 — mid-reduce,
+        # after mesh formation, the worst spot for the down pass.  This
+        # kills the actual node *process*: the manifest is stale for the
+        # victim afterwards (relaunch, or drive crash mode last).
+        plan = plan.kill_at_step(victim, "down", 1)
+        bound = FaultPlan().kill(victim)
+        return plan, RetryPolicy(base_timeout=0.2, max_retries=2), True, bound
+    if mode == "slow-node":
+        # Late, not lost: generous base deadline so delayed messages
+        # arrive inside attempt 0 instead of burning the retry budget.
+        plan = plan.with_rule(LinkFault(src=victim, delay=SLOW_NODE_DELAY))
+        return plan, RetryPolicy(base_timeout=0.25, max_retries=4), False, None
+    if mode == "partition":
+        # The victim can talk to nobody and hear nobody — both directions
+        # drop with certainty, connections stay up (the silent partition).
+        plan = plan.with_rule(LinkFault(src=victim, drop=1.0))
+        plan = plan.with_rule(LinkFault(dst=victim, drop=1.0))
+        bound = FaultPlan().kill(victim)
+        return plan, RetryPolicy(base_timeout=0.15, max_retries=1), True, bound
+    raise ValueError(f"unknown failure mode {mode!r}; choose from {FAILURE_MODES}")
+
+
+def drive_cluster(
+    manifest: Dict[str, Any],
+    *,
+    workload: str = "quickstart",
+    rounds: int = 1,
+    duration: Optional[float] = None,
+    concurrency: int = 1,
+    failure_mode: str = "none",
+    seed: int = 0,
+    observe: Optional[Observer] = None,
+    session_timeout: float = 120.0,
+) -> Dict[str, Any]:
+    """Run a workload against a launched cluster; return the outcome.
+
+    ``concurrency`` is the number of reduction rounds batched into one
+    session wave (one mesh formation amortizes over that many rounds);
+    waves repeat until ``rounds`` rounds have run, or — with
+    ``duration`` — until the wall clock says stop.
+
+    The outcome dict carries per-wave exactness against the dense
+    reference, the merged :class:`~repro.faults.CoverageReport` for
+    degraded modes, and the static worst-case-loss gate verdict.
+    """
+    from ..allreduce import ReduceSpec, dense_reduce
+    from ..allreduce.topology import ButterflyTopology
+    from ..obs.runner import EXPERIMENTS
+    from ..sparse import MultiplicativeHasher
+    from ..verify.flow import worst_case_loss
+
+    if workload not in EXPERIMENTS:
+        raise ValueError(f"unknown workload {workload!r}")
+    if rounds < 1 or concurrency < 1:
+        raise ValueError("rounds and concurrency must be >= 1")
+    w = EXPERIMENTS[workload](seed)
+    m, degrees = w["m"], w["degrees"]
+    size = manifest["cluster"]["size"]
+    if m != size:
+        raise ValueError(
+            f"workload {workload} needs {m} nodes, manifest has {size}"
+        )
+    spec = ReduceSpec(in_indices=w["in_idx"], out_indices=w["out_idx"])
+    plan, retry_override, degrade, bound_plan = _failure_plan(
+        failure_mode, w.get("faults"), m, seed
+    )
+    retry = retry_override or w.get("retry") or RetryPolicy(base_timeout=0.25)
+    if plan is not None:
+        plan.validate(m)
+    obs = observe if observe is not None else NULL_OBSERVER
+    if obs.enabled:
+        obs.name_pid(0, "driver")
+    addrs = {
+        n["rank"]: (n["host"], n["port"]) for n in manifest["nodes"].values()
+    }
+    multiplier = int(MultiplicativeHasher()._mult)
+    # Exactness reference.  Under a degraded mode the victim contributes
+    # *nothing* (it dies or all its sends drop before any value leaves),
+    # so the honest reference for the survivors' kept positions is the
+    # reduction over every member *except* the victim — the full dense
+    # reference would charge them the victim's missing addends.
+    ref_values = dict(w["values"])
+    if degrade:
+        from ..allreduce.base import reduction_identity
+
+        victim = VICTIM_RANK % m
+        ident = reduction_identity(spec.op, spec.dtype)
+        ref_values[victim] = np.full_like(
+            np.asarray(ref_values[victim], dtype=spec.dtype), ident
+        )
+    reference = dense_reduce(spec, ref_values)
+
+    outcome: Dict[str, Any] = {
+        "workload": workload,
+        "failure_mode": failure_mode,
+        "seed": seed,
+        "rounds_requested": rounds,
+        "rounds_run": 0,
+        "waves": 0,
+        "exact_rounds": 0,
+        "checked_rounds": 0,
+        "dead_ranks": [],
+        "errors": [],
+    }
+    all_lost: Dict[int, List[np.ndarray]] = {}
+    all_losses: List[LossRecord] = []
+    started = time.monotonic()
+    rounds_left = rounds
+    while rounds_left > 0:
+        wave = min(concurrency, rounds_left)
+        wave_results, wave_errs, dead = _run_wave(
+            addrs, spec, w, plan, retry, degrade, wave,
+            multiplier=multiplier, obs=obs, session_timeout=session_timeout,
+        )
+        outcome["waves"] += 1
+        outcome["rounds_run"] += wave
+        outcome["errors"].extend(wave_errs)
+        for r in dead:
+            if r not in outcome["dead_ranks"]:
+                outcome["dead_ranks"].append(r)
+            all_lost.setdefault(r, []).append(np.asarray(spec.in_indices[r]))
+            all_losses.append(
+                LossRecord(rank=r, member=r, phase="combined_down", layer=0)
+            )
+        for rank, per_round in wave_results.items():
+            for _rnd, result, lost_raw, losses in per_round:
+                all_losses.extend(losses)
+                if lost_raw is not None and len(lost_raw):
+                    all_lost.setdefault(rank, []).append(lost_raw)
+                if result is None:
+                    continue
+                if degrade and rank == VICTIM_RANK % m:
+                    # The victim's surviving values are reductions over
+                    # whatever happened to reach it — no dense reference
+                    # matches them; its coverage report is the contract.
+                    continue
+                ok = _round_exact(result, reference[rank], spec, rank, lost_raw)
+                outcome["checked_rounds"] += 1
+                if ok:
+                    outcome["exact_rounds"] += 1
+        rounds_left -= wave
+        if duration is not None:
+            if time.monotonic() - started >= duration:
+                break
+            if rounds_left <= 0:
+                rounds_left = rounds  # keep cycling until the clock says stop
+    outcome["elapsed"] = time.monotonic() - started
+
+    report = None
+    if degrade:
+        lost = {
+            r: np.unique(np.concatenate(chunks))
+            for r, chunks in all_lost.items()
+            if chunks
+        }
+        report = CoverageReport(
+            total_ranks=m,
+            in_sizes={r: len(spec.in_indices[r]) for r in range(m)},
+            lost_indices=lost,
+            dead_members=tuple(e.member for e in all_losses),
+            losses=tuple(all_losses),
+        )
+        outcome["coverage"] = report.summary()
+        bound = worst_case_loss(
+            ButterflyTopology(degrees, m), spec, None, bound_plan or plan
+        )
+        violations = []
+        for r, lost_ix in report.lost_indices.items():
+            extra = np.setdiff1d(lost_ix, bound.get(r, np.empty(0, dtype=np.int64)))
+            if extra.size:
+                violations.append(
+                    f"rank {r}: {extra.size} lost indices outside the static bound"
+                )
+        outcome["bound_ok"] = not violations
+        outcome["bound_violations"] = violations
+    outcome["report"] = report
+    return outcome
+
+
+def _round_exact(result, reference, spec, rank, lost_raw) -> bool:
+    """Exactness for one rank-round, skipping positions reported lost."""
+    if lost_raw is None or not len(lost_raw):
+        return bool(np.allclose(result, reference, atol=1e-9))
+    keep = ~np.isin(np.asarray(spec.in_indices[rank]), lost_raw)
+    return bool(np.allclose(result[keep], reference[keep], atol=1e-9))
+
+
+def _run_wave(
+    addrs, spec, w, plan, retry, degrade, rounds, *, multiplier, obs,
+    session_timeout,
+):
+    """One session wave: ship configs to every node, collect results."""
+    results: Dict[int, list] = {}
+    errors: List[str] = []
+    dead: List[int] = []
+    lock = threading.Lock()
+
+    def one(rank: int) -> None:
+        cfg = {
+            "addrs": addrs,
+            "degrees": w["degrees"],
+            "multiplier": multiplier,
+            "op": spec.op,
+            "strict": not degrade,
+            "value_shape": spec.value_shape,
+            "dtype_str": spec.dtype.str,
+            "in_idx": spec.in_indices[rank],
+            "out_idx": spec.out_indices[rank],
+            "values": np.asarray(w["values"][rank], dtype=spec.dtype),
+            "plan": plan,
+            "retry": retry,
+            "degrade": degrade,
+            "rounds": rounds,
+            "observe": obs.enabled,
+        }
+        try:
+            sock = socket.create_connection(addrs[rank], timeout=5.0)
+        except OSError as exc:
+            with lock:
+                dead.append(rank)
+                errors.append(f"rank {rank}: connect failed: {exc}")
+            return
+        try:
+            sock.sendall(encode_frame(("session", cfg)))
+            ok, frame = recv_frame(sock, timeout=session_timeout)
+        except (OSError, FrameError) as exc:
+            # The node died mid-session (crash mode's os._exit lands
+            # here as an EOF): a real process death, accounted as one.
+            with lock:
+                dead.append(rank)
+                errors.append(f"rank {rank}: session lost: {exc}")
+            return
+        finally:
+            sock.close()
+        if not ok:
+            with lock:
+                dead.append(rank)
+                errors.append(f"rank {rank}: node closed before its result")
+            return
+        _, r_rank, err, per_round, snap = frame
+        with lock:
+            if snap is not None and obs.enabled:
+                obs.absorb(snap, pid=r_rank + 1, name=f"node {r_rank}")
+            if err is not None:
+                errors.append(f"rank {r_rank}: {err}")
+            results[r_rank] = per_round
+
+    threads = [
+        threading.Thread(target=one, args=(rank,), daemon=True) for rank in addrs
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=session_timeout + 10.0)
+    return results, errors, dead

@@ -14,21 +14,33 @@ the simulator.  It is built for correctness and portability, not
 throughput: spawning processes costs ~100 ms each, and a single-core
 host serialises them — use the simulator for performance studies.
 
+The protocol body, the NACK/retry/dedupe reliability layer, the parent
+supervision (heartbeat reaping, zero-zombie teardown), and degraded
+completion all live in the shared layers this backend is assembled
+from — :mod:`repro.net.protocol`, :mod:`repro.net.transport`, and
+:mod:`repro.net.base` — and are byte-identical to the TCP backend
+(:mod:`repro.net.tcp`); only the medium (pipe send/receive) is local
+to this file.
+
 Fault tolerance (this mirrors the simulator's fabric, see
 :mod:`repro.faults`):
 
 * A :class:`~repro.faults.FaultPlan` wraps the transport: sender threads
   consult ``plan.decide`` per message and drop, duplicate, or delay
   (``time.sleep``) accordingly.  Each link carries exactly one logical
-  message per (kind, layer), so the decision inputs — and therefore the
-  fault schedule — are *identical* to a simulator run of the combined
-  protocol with the same plan.
-* Receivers dedupe by (peer, kind, layer) and enforce per-attempt
-  deadlines with exponential backoff; a missing message triggers a NACK
-  that the sender services from its send cache.  Exhausted retries, a
-  peer EOF, or a reaped child raise :class:`~repro.faults.PeerFailedError`
-  in bounded time — never a hang — and the parent terminates + joins all
-  workers on every exit path (no zombie processes).
+  message per (kind, layer, seq), so the decision inputs — and therefore
+  the fault schedule — are *identical* to a simulator run of the
+  combined protocol with the same plan.
+* Receivers dedupe by (peer, kind, layer, seq) and enforce per-attempt
+  deadlines with exponential backoff (plus the policy's seeded jitter);
+  a missing message triggers a NACK that the sender services from its
+  send cache.  Exhausted retries, a peer EOF, or a reaped child raise
+  :class:`~repro.faults.PeerFailedError` in bounded time — never a
+  hang — and the parent terminates + joins all workers on every exit
+  path (no zombie processes).  With ``degrade=True`` an unrecoverable
+  peer becomes a hole instead: the run completes on the survivors and
+  :attr:`~repro.net.base.ForkedKylixBase.last_report` carries the exact
+  :class:`~repro.faults.CoverageReport`.
 * ``kill_at_step`` crash points are honoured with ``os._exit`` right
   before the worker's first send at the targeted (phase, layer).  Only
   at-start deaths (``kill(node)``) and step-kills are supported here:
@@ -53,179 +65,54 @@ analyzer's straggler report reads.
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
-import queue
 import threading
 import time
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict
 
-import numpy as np
+from ..obs import NULL_OBSERVER
+from .base import ForkedKylixBase
+from .transport import BaseTransport
 
-from ..allreduce import ReduceSpec
-from ..allreduce.base import CoverageError, reduction_identity, reduction_ufunc
-from ..allreduce.topology import ButterflyTopology
-from ..cluster.node import payload_nbytes
-from ..faults import FaultPlan, PeerFailedError, RetryPolicy
-from ..obs import NULL_OBSERVER, Observer
-from ..sparse import (
-    IndexHasher,
-    KeyRange,
-    MultiplicativeHasher,
-    split_sorted,
-    union_with_maps,
-)
-from ..verify.errors import ProtocolInvariantError
-
-__all__ = ["LocalKylix"]
-
-#: Wall-clock base for the first receive attempt (seconds).  Local pipes
-#: are fast; the backoff ladder covers slow CI machines.
-_LOCAL_BASE_TIMEOUT = 0.25
-#: Poll granularity for pipe and result-queue waits.
-_POLL = 0.005
-
-#: Wire kind -> canonical observer phase for message events.  The local
-#: backend runs the combined protocol, so its downward exchange reports
-#: as ``combined_down`` (matching the simulator's combined variant).
-_PHASE_OF = {"down": "combined_down", "up": "gather_up"}
+__all__ = ["LocalKylix", "LocalTransport"]
 
 
-class _Transport:
-    """One worker's fault-wrapped view of its pipes.
+class LocalTransport(BaseTransport):
+    """The reliability layer over a full mesh of duplex pipes.
 
-    Owns the per-connection send locks (a ``Connection`` is not
-    thread-safe), the send cache that services NACKs, and the receive
-    inbox with (peer, kind, layer) dedupe.
+    A ``multiprocessing.Connection`` is not thread-safe, so each link
+    carries a send lock; sends run on one fresh thread per post (cheap
+    at pipe latencies, and exactly the paper's concurrent-send shape).
     """
 
-    def __init__(self, rank, conns, plan, obs=NULL_OBSERVER):
-        self.rank = rank
+    def __init__(self, rank, conns, plan, retry, obs=NULL_OBSERVER):
+        super().__init__(rank, plan, retry, obs)
         self.conns = conns
-        self.plan = plan
-        self.obs = obs
-        # Fault decisions happen on sender threads; metric dicts are not
-        # thread-safe, so their updates serialise through this lock.
-        self._obs_lock = threading.Lock()
         self.locks = {m: threading.Lock() for m in conns}
-        self.sent: Dict[Tuple[int, str, int], Any] = {}
-        self.inbox: Dict[Tuple[int, str, int], Any] = {}
-        self.arrived: Dict[Tuple[int, str, int], float] = {}
-        self.seen: set = set()
-        self.closed: set = set()
-        self.duplicates_dropped = 0
-        self.senders: list = []
 
-    # -- sending -----------------------------------------------------------
-    def _transmit(self, member, kind, layer, part, attempt=0, sent_at=None):
-        """Runs on a sender thread: consult the fault oracle, then send.
+    def _send_frame(self, member, frame) -> None:
+        try:
+            with self.locks[member]:
+                self.conns[member].send(frame)
+        except (BrokenPipeError, OSError):  # peer already gone
+            self.closed.add(member)
 
-        ``sent_at`` stamps the wire frame (captured *before* any
-        fault-injected delay, so the delay shows up as delivery latency
-        at the receiver — same accounting as the simulator fabric).
-        """
-        if sent_at is None:
-            sent_at = time.monotonic()
-        decision = None
-        if self.plan is not None:
-            # seq is 0: each link carries one logical message per
-            # (kind, layer) — same inputs as the simulator's counters.
-            decision = self.plan.decide(self.rank, member, kind, layer, 0, attempt)
-        if decision is not None and self.obs.enabled:
-            with self._obs_lock:
-                if decision.drop:
-                    self.obs.counter("faults.injected").inc(kind="dropped")
-                if decision.delay > 0.0:
-                    self.obs.counter("faults.injected").inc(kind="delayed")
-                if decision.duplicates:
-                    self.obs.counter("faults.injected").inc(
-                        decision.duplicates, kind="duplicated"
-                    )
-        if decision is not None and decision.delay > 0.0:
-            time.sleep(decision.delay)
-        copies = 1 + (decision.duplicates if decision is not None else 0)
-        if decision is not None and decision.drop:
-            copies -= 1
-        frame = ("msg", kind, layer, 0, part, sent_at)
-        for _ in range(copies):
-            try:
-                with self.locks[member]:
-                    self.conns[member].send(frame)
-            except (BrokenPipeError, OSError):  # peer already gone
-                return
-
-    def post(self, member, kind, layer, part, attempt=0):
+    def post(self, member, kind, layer, part, seq=0) -> None:
         """Cache + send on a background thread (deadlock-free exchange)."""
-        self.sent[(member, kind, layer)] = part
+        self.sent[(member, kind, layer, seq)] = part
         t = threading.Thread(
             target=self._transmit,
-            args=(member, kind, layer, part, attempt, time.monotonic()),
+            args=(member, kind, layer, part, seq, 0, time.monotonic()),
         )
         t.daemon = True
         t.start()
         self.senders.append(t)
 
-    def join_senders(self, budget=5.0):
-        deadline = time.monotonic() + budget
-        for t in self.senders:
-            t.join(timeout=max(0.0, deadline - time.monotonic()))
-        self.senders = []
-
-    # -- receiving ---------------------------------------------------------
-    def _dispatch(self, member, obj):
-        if obj[0] == "msg":
-            _, kind, layer, _seq, part, sent_at = obj
-            key = (member, kind, layer)
-            if key in self.seen:
-                self.duplicates_dropped += 1
-                with self._obs_lock:
-                    self.obs.counter("faults.duplicates_dropped").inc(
-                        phase=kind, layer=layer
-                    )
-                return
-            now = time.monotonic()
-            self.seen.add(key)
-            self.inbox[key] = part
-            self.arrived[key] = now
-            if self.obs.enabled:
-                with self._obs_lock:
-                    self.obs.message_delivered(
-                        member,
-                        self.rank,
-                        payload_nbytes(part),
-                        sent_at,
-                        now,
-                        phase=_PHASE_OF.get(kind, kind),
-                        layer=layer,
-                    )
-        elif obj[0] == "nack":
-            _, kind, layer, attempt = obj
-            part = self.sent.get((member, kind, layer))
-            if part is not None:
-                with self._obs_lock:
-                    self.obs.counter("faults.resent").inc(phase=kind, layer=layer)
-                # Service the resend off-thread; the retransmission gets
-                # an independent fault draw (attempt bumps the oracle).
-                t = threading.Thread(
-                    target=self._transmit, args=(member, kind, layer, part, attempt)
-                )
-                t.daemon = True
-                t.start()
-                self.senders.append(t)
-            # else: we have not reached that send yet; the peer re-NACKs.
-        else:
-            raise ProtocolInvariantError(
-                f"rank {self.rank}: unknown frame {obj[0]!r} from {member}",
-                invariant="message-order",
-            )
-
-    def pump(self, members=None):
+    def _pump_once(self):
         """Drain every readable connection once; returns peers hit EOF."""
         dead = []
-        for member in self.conns if members is None else members:
+        for member, conn in self.conns.items():
             if member in self.closed:
                 continue
-            conn = self.conns[member]
             try:
                 while conn.poll(0):
                     self._dispatch(member, conn.recv())  # lint: ok — poll-guarded
@@ -234,266 +121,8 @@ class _Transport:
                 dead.append(member)
         return dead
 
-    def collect(self, members, kind, layer, retry):
-        """Block until one (kind, layer) message from every member.
 
-        Per-attempt deadlines with exponential backoff; deadline misses
-        NACK every missing peer; a peer that hits EOF, or outlives the
-        retry budget, raises :class:`PeerFailedError` — bounded time.
-        """
-        wanted = [m for m in members if m != self.rank]
-        attempt = 0
-        deadline = time.monotonic() + retry.local_timeout(0)
-        while True:
-            missing = [m for m in wanted if (m, kind, layer) not in self.inbox]
-            if not missing:
-                if self.obs.enabled:
-                    # Queue wait: pipe-dispatch time -> consumption time,
-                    # mirroring the simulator fabric's mailbox accounting.
-                    now = time.monotonic()
-                    with self._obs_lock:
-                        for m in wanted:
-                            arr = self.arrived.get((m, kind, layer))
-                            if arr is not None:
-                                self.obs.histogram("net.queue_wait").observe(
-                                    max(now - arr, 0.0),
-                                    node=self.rank,
-                                    phase=_PHASE_OF.get(kind, kind),
-                                    layer=layer,
-                                )
-                return {m: self.inbox[(m, kind, layer)] for m in wanted}
-            # Drain *every* connection, not just the missing peers': NACKs
-            # for our earlier sends arrive on links this collect is not
-            # waiting on, and leaving them unread deadlocks chains of
-            # stuck groups (each blocked node polls only the peers it
-            # waits for, so nobody services anybody's resend requests).
-            self.pump()
-            for m in missing:
-                if m in self.closed and (m, kind, layer) not in self.inbox:
-                    raise PeerFailedError(
-                        f"local kylix rank {self.rank}: peer {m} closed its "
-                        f"pipe during {kind} layer {layer}",
-                        slot=m, phase=kind, layer=layer,
-                    )
-            if time.monotonic() >= deadline:
-                if attempt >= retry.max_retries:
-                    raise PeerFailedError(
-                        f"local kylix rank {self.rank}: no {kind} layer "
-                        f"{layer} message from {missing} within the retry "
-                        f"budget ({retry.max_retries} resend requests)",
-                        slot=missing[0], phase=kind, layer=layer,
-                    )
-                attempt += 1
-                for m in missing:
-                    try:
-                        with self.locks[m]:
-                            self.conns[m].send(("nack", kind, layer, attempt))
-                    except (BrokenPipeError, OSError):
-                        self.closed.add(m)
-                deadline = time.monotonic() + retry.local_timeout(attempt)
-            time.sleep(_POLL)
-
-    def linger(self, done_evt, budget):
-        """After finishing: keep servicing NACKs until everyone is done."""
-        deadline = time.monotonic() + budget
-        while not done_evt.is_set() and time.monotonic() < deadline:
-            self.pump()
-            if done_evt.wait(timeout=0.02):  # lint: ok — bounded wait
-                break
-        self.join_senders(budget=1.0)
-
-
-def _local_timeout(retry: RetryPolicy, attempt: int) -> float:
-    base = retry.base_timeout if retry.base_timeout is not None else _LOCAL_BASE_TIMEOUT
-    return base * (retry.backoff ** attempt)
-
-
-# RetryPolicy is a frozen dataclass shared with the simulator; the local
-# backend derives wall-clock deadlines instead of netmodel envelopes.
-RetryPolicy.local_timeout = _local_timeout
-
-
-def _worker(
-    rank: int,
-    degrees: Sequence[int],
-    multiplier: int,
-    op: str,
-    strict: bool,
-    value_shape: tuple,
-    dtype_str: str,
-    in_idx: np.ndarray,
-    out_idx: np.ndarray,
-    values: np.ndarray,
-    conns: Dict[int, "mp.connection.Connection"],
-    result_q: "mp.Queue",
-    plan: Optional[FaultPlan],
-    retry: RetryPolicy,
-    done_evt,
-    linger_budget: float,
-    observe: bool = False,
-) -> None:
-    """One node's blocking protocol run (executed in a child process)."""
-    step_kill = plan.step_kill_for(rank) if plan is not None else None
-    if plan is not None and not plan.is_alive(rank, 0.0):
-        os._exit(1)  # dead from the start: no result, no goodbye
-
-    def maybe_crash(kind: str, layer: int) -> None:
-        # Crash point: die immediately before the first send at the
-        # targeted (phase, layer) — same semantics as the simulator.
-        if step_kill is not None and step_kill == (kind, layer):
-            os._exit(1)
-
-    # A private wall-clock observer; its snapshot rides the result queue
-    # back to the parent, which absorbs it under this worker's pid row.
-    obs = Observer(name=f"worker {rank}") if observe else NULL_OBSERVER
-
-    try:
-        net = _Transport(rank, conns, plan, obs=obs)
-        hasher = MultiplicativeHasher(multiplier)
-        dtype = np.dtype(dtype_str)
-        ufunc = reduction_ufunc(op)
-        identity = reduction_identity(op, dtype)
-        topo = ButterflyTopology(degrees, int(np.prod(degrees)))
-
-        out_keys, out_inv = np.unique(hasher.hash(out_idx), return_inverse=True)
-        in_keys, in_inv = np.unique(hasher.hash(in_idx), return_inverse=True)
-        v = np.full((out_keys.size, *value_shape), identity, dtype=dtype)
-        ufunc.at(v, out_inv, np.asarray(values, dtype=dtype))
-
-        rng = KeyRange.full(hasher.key_space)
-        layers = []  # (layer, group, pos, in_slices, in_maps, in_prev_size)
-        for layer in range(1, topo.num_layers + 1):
-            d = topo.degrees[layer - 1]
-            group = topo.group(rank, layer)
-            pos = topo.position(rank, layer)
-            out_slices = split_sorted(out_keys, rng, d)
-            in_slices = split_sorted(in_keys, rng, d)
-
-            maybe_crash("down", layer)
-            # Each message is tagged with the *sender's* group position so
-            # the receiver can index its merge maps.  Sends run on
-            # background threads (deadlock-free exchange) and are joined
-            # before the layer ends.
-            xchg = obs.begin(
-                f"combined_down L{layer}", node=rank, phase="combined_down", layer=layer
-            )
-            payloads = {}
-            for q, member in enumerate(group):
-                part = (
-                    pos,
-                    out_keys[out_slices[q]],
-                    in_keys[in_slices[q]],
-                    np.ascontiguousarray(v[out_slices[q]]),
-                )
-                obs.message_sent(
-                    rank, member, payload_nbytes(part), phase="combined_down", layer=layer
-                )
-                if member == rank:
-                    payloads[pos] = part
-                else:
-                    net.post(member, "down", layer, part)
-
-            for member, part in net.collect(group, "down", layer, retry).items():
-                payloads[part[0]] = part
-            net.join_senders()
-            obs.end(xchg)
-
-            merge = obs.begin(
-                f"config L{layer}", node=rank, phase="config", layer=layer, kind="merge"
-            )
-            out_parts = [payloads[q][1] for q in range(d)]
-            in_parts = [payloads[q][2] for q in range(d)]
-            out_union, out_maps = union_with_maps(out_parts)
-            in_union, in_maps = union_with_maps(in_parts)
-            obs.histogram("config.merge_length").observe(
-                out_union.size, phase="config", layer=layer
-            )
-            obs.end(merge)
-            scatter = obs.begin(
-                f"reduce_down L{layer}",
-                node=rank,
-                phase="reduce_down",
-                layer=layer,
-                kind="merge",
-            )
-            partial = np.full((out_union.size, *value_shape), identity, dtype=dtype)
-            for q in range(d):
-                m = out_maps[q]
-                partial[m] = ufunc(partial[m], payloads[q][3])
-            obs.end(scatter)
-
-            layers.append((layer, group, pos, in_slices, in_maps, in_keys.size))
-            out_keys, in_keys, v = out_union, in_union, partial
-            rng = rng.subrange(pos, d)
-
-        # bottom projection
-        pos_arr = np.searchsorted(out_keys, in_keys).astype(np.intp)
-        clipped = np.minimum(pos_arr, max(out_keys.size - 1, 0))
-        hit = (
-            out_keys[clipped] == in_keys
-            if out_keys.size and in_keys.size
-            else np.zeros(in_keys.size, dtype=bool)
-        )
-        if strict and not bool(hit.all()):
-            raise CoverageError(
-                f"rank {rank}: {int((~hit).sum())} requested indices uncovered"
-            )
-        r = np.full((in_keys.size, *value_shape), identity, dtype=dtype)
-        if v.size:
-            mask = hit.reshape(hit.shape + (1,) * (r.ndim - 1))
-            np.copyto(r, v[clipped], where=mask)
-
-        # upward allgather
-        for layer, group, pos, in_slices, in_maps, prev_size in reversed(layers):
-            d = len(group)
-            maybe_crash("up", layer)
-            gather = obs.begin(
-                f"gather_up L{layer}", node=rank, phase="gather_up", layer=layer
-            )
-            for q, member in enumerate(group):
-                part = (pos, np.ascontiguousarray(r[in_maps[q]]))
-                obs.message_sent(
-                    rank, member, payload_nbytes(part), phase="gather_up", layer=layer
-                )
-                if member != rank:
-                    net.post(member, "up", layer, part)
-            out = np.zeros((prev_size, *value_shape), dtype=dtype)
-            out[in_slices[pos]] = r[in_maps[pos]]
-            for member, (sender_pos, vals_part) in net.collect(
-                group, "up", layer, retry
-            ).items():
-                out[in_slices[sender_pos]] = vals_part
-            net.join_senders()
-            obs.end(gather)
-            r = out
-
-        result_q.put((rank, r[in_inv], None, obs.snapshot() if obs.enabled else None))
-        # Slow peers may still need resends of our final up-parts: stay
-        # around servicing NACKs until the parent flips the done event.
-        net.linger(done_evt, linger_budget)
-    except PeerFailedError as exc:
-        result_q.put(
-            (
-                rank,
-                None,
-                ("peer", exc.slot, exc.phase, exc.layer, str(exc)),
-                obs.snapshot() if obs.enabled else None,
-            )
-        )
-    except Exception as exc:  # pragma: no cover - surfaced in the parent
-        import traceback
-
-        result_q.put(
-            (
-                rank,
-                None,
-                f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
-                obs.snapshot() if obs.enabled else None,
-            )
-        )
-
-
-class LocalKylix:
+class LocalKylix(ForkedKylixBase):
     """Kylix over real OS processes (one per logical node).
 
     Usage mirrors the simulator API, minus timing::
@@ -511,8 +140,7 @@ class LocalKylix:
         :class:`~repro.faults.RetryPolicy` for receive deadlines/NACKs.
         Defaults to ``RetryPolicy()`` with a 0.25 s wall-clock base.
     timeout:
-        Total wall-clock budget (seconds) for collecting worker results
-        (was a hard-coded 120 s queue timeout).
+        Total wall-clock budget (seconds) for collecting worker results.
     join_timeout:
         Budget for joining each worker during cleanup; workers still
         alive after it are terminated, then killed — no zombies on any
@@ -523,57 +151,15 @@ class LocalKylix:
         records into a private wall-clock observer and ships a snapshot
         back with its result; the parent absorbs them all here, one
         trace process row per worker.  Default off.
+    degrade:
+        Complete on survivors instead of raising when a peer is
+        unrecoverable; the run's :class:`~repro.faults.CoverageReport`
+        lands on :attr:`last_report`.  Default off (strict).
     """
 
-    def __init__(
-        self,
-        degrees: Sequence[int],
-        *,
-        hasher: Optional[IndexHasher] = None,
-        strict_coverage: bool = True,
-        faults: Optional[FaultPlan] = None,
-        retry: Optional[RetryPolicy] = None,
-        timeout: float = 120.0,
-        join_timeout: float = 10.0,
-        observe: Optional[Observer] = None,
-    ):
-        self.degrees = [int(d) for d in degrees]
-        self.size = int(np.prod(self.degrees))
-        if isinstance(hasher, MultiplicativeHasher) or hasher is None:
-            self._multiplier = int(
-                (hasher._mult if hasher is not None else MultiplicativeHasher()._mult)
-            )
-        else:
-            raise ValueError("LocalKylix supports MultiplicativeHasher only")
-        self.strict_coverage = strict_coverage
-        if timeout <= 0 or join_timeout <= 0:
-            raise ValueError("timeout and join_timeout must be positive")
-        self.timeout = float(timeout)
-        self.join_timeout = float(join_timeout)
-        if faults is not None:
-            faults.validate(self.size)
-            for node, at in faults._deaths.items():
-                if at > 0.0:
-                    raise ValueError(
-                        f"LocalKylix has no simulated clock: death of node "
-                        f"{node} at t={at} is not executable — use "
-                        f"kill(node) (dead from start) or kill_at_step()"
-                    )
-            if faults._recoveries:
-                raise ValueError("LocalKylix does not support recovery schedules")
-        self.faults = faults
-        self.retry = retry if retry is not None else RetryPolicy()
-        self.observe = observe
-        self.duplicates_dropped = 0
+    _BACKEND_NAME = "local"
 
-    def allreduce(
-        self, spec: ReduceSpec, out_values: Mapping[int, np.ndarray]
-    ) -> Dict[int, np.ndarray]:
-        if set(spec.ranks) != set(range(self.size)):
-            raise ValueError(
-                f"spec must cover ranks 0..{self.size - 1} (got {spec.ranks})"
-            )
-        ctx = mp.get_context("fork") if hasattr(mp, "get_context") else mp
+    def _make_mesh(self, ctx) -> Dict[int, Dict[int, object]]:
         # full mesh of duplex pipes
         conns: Dict[int, Dict[int, object]] = {r: {} for r in range(self.size)}
         for i in range(self.size):
@@ -581,105 +167,20 @@ class LocalKylix:
                 a, b = ctx.Pipe(duplex=True)
                 conns[i][j] = a
                 conns[j][i] = b
-        result_q = ctx.Queue()
-        done_evt = ctx.Event()
-        procs: Dict[int, mp.Process] = {}
-        obs = self.observe if self.observe is not None else NULL_OBSERVER
-        if obs.enabled:
-            obs.name_pid(0, "driver")
-        run_span = obs.begin("allreduce(local)", degrees=str(self.degrees))
-        try:
-            for rank in range(self.size):
-                p = ctx.Process(
-                    target=_worker,
-                    args=(
-                        rank,
-                        self.degrees,
-                        self._multiplier,
-                        spec.op,
-                        self.strict_coverage,
-                        spec.value_shape,
-                        spec.dtype.str,
-                        spec.in_indices[rank],
-                        spec.out_indices[rank],
-                        np.asarray(out_values[rank], dtype=spec.dtype),
-                        conns[rank],
-                        result_q,
-                        self.faults,
-                        self.retry,
-                        done_evt,
-                        self.timeout,
-                        obs.enabled,
-                    ),
-                )
-                p.daemon = True
-                p.start()
-                procs[rank] = p
-            # The children inherited every pipe end at fork; drop the
-            # parent's copies so a dead worker's peers see EOF instead of
-            # a silently-held-open descriptor.
-            for ends in conns.values():
-                for conn in ends.values():
-                    conn.close()
+        return conns
 
-            return self._collect_results(result_q, procs, obs)
-        finally:
-            done_evt.set()
-            self._reap(procs)
-            obs.end(run_span)
+    def _transport_factory(self, rank, mesh):
+        conns = mesh[rank]
 
-    # -- parent-side supervision ------------------------------------------
-    def _collect_results(self, result_q, procs, obs=NULL_OBSERVER) -> Dict[int, np.ndarray]:
-        results: Dict[int, np.ndarray] = {}
-        deadline = time.monotonic() + self.timeout
-        grace_until: Dict[int, float] = {}
-        while len(results) < self.size:
-            try:
-                rank, value, err, snap = result_q.get(timeout=_POLL * 50)
-            except queue.Empty:
-                rank = None
-            if rank is not None:
-                if snap is not None and obs.enabled:
-                    # One trace process row per worker (pid 0 = driver).
-                    obs.absorb(snap, pid=rank + 1, name=f"worker {rank}")
-                if err is not None:
-                    if isinstance(err, tuple) and err[0] == "peer":
-                        _, slot, phase, layer, text = err
-                        raise PeerFailedError(text, slot=slot, phase=phase, layer=layer)
-                    raise RuntimeError(f"worker {rank} failed: {err}")
-                results[rank] = value
-                continue
-            # Heartbeat: reap children that died without posting a result.
-            # A short grace window lets an already-queued result flush.
-            now = time.monotonic()
-            for r, p in procs.items():
-                if r in results or p.exitcode is None:
-                    continue
-                grace_until.setdefault(r, now + 1.0)
-                if now >= grace_until[r]:
-                    raise PeerFailedError(
-                        f"worker {r} exited with code {p.exitcode} before "
-                        "posting a result",
-                        slot=r,
-                    )
-            if now >= deadline:
-                missing = sorted(set(procs) - set(results))
-                raise PeerFailedError(
-                    f"no result from workers {missing} within {self.timeout}s",
-                    slot=missing[0] if missing else None,
-                )
-        return results
+        def factory(rank_, plan, retry, obs):
+            return LocalTransport(rank_, conns, plan, retry, obs=obs)
 
-    def _reap(self, procs) -> None:
-        """Terminate + join every worker; zero live children afterwards."""
-        for p in procs.values():
-            p.join(timeout=self.join_timeout)
-        for p in procs.values():
-            if p.is_alive():
-                p.terminate()
-        for p in procs.values():
-            if p.is_alive():
-                p.join(timeout=1.0)
-            if p.is_alive():  # pragma: no cover - terminate() ignored
-                p.kill()
-                p.join(timeout=1.0)
+        return factory
+
+    def _release_mesh(self, mesh) -> None:
+        # The children inherited every pipe end at fork; drop the
+        # parent's copies so a dead worker's peers see EOF instead of
+        # a silently-held-open descriptor.
+        for ends in mesh.values():
+            for conn in ends.values():
+                conn.close()

@@ -1,0 +1,336 @@
+"""The combined Kylix protocol body shared by the real backends.
+
+:func:`run_combined` is one node's blocking run of the combined
+configure+reduce protocol (§III: indices and values in one downward
+pass, reduced values allgathered back up) against any
+:class:`~repro.net.transport.BaseTransport`.  The pipe backend
+(:mod:`repro.net.local`) and the socket backend (:mod:`repro.net.tcp`)
+execute *this exact function* — the protocol cannot drift between
+mediums, and every guarantee pinned on one backend (NACK recovery,
+typed failure, degraded completion, observability parity) is pinned on
+both by construction.
+
+Degraded completion mirrors the simulator's mask propagation
+(:class:`~repro.allreduce.KylixAllreduce` with ``degrade=True``) element
+for element: validity masks ride the payloads, an unrecoverable member
+is a hole whose keys never join the union, incomplete aggregates are
+masked out at the bottom projection, and an up-pass carrier that never
+integrated our config part loses the whole slice.  The caller turns the
+returned per-index losses into a :class:`~repro.faults.CoverageReport`.
+
+One accounting, the **dead-partial key audit**, goes beyond the
+simulator's combined path.  A hole at layer ``l >= 2`` takes an
+*accumulated partial* with it — contributions other, live members fed
+it at earlier layers — and keys that also reached this node through its
+own partial would keep a valid mask over an incomplete aggregate.  The
+separate-pass protocol is immune because configuration gave every
+receiver the dead member's merge maps; the combined protocol
+reconstructs the same knowledge after the fact: every degrade-mode
+sender retains the out-key slice of each down part (and layer-1 parts
+piggyback the sender's full raw key set), so a receiver that sees a
+hole queries the hole's earlier-layer group members for what they fed
+the dead partial and masks exactly those keys.  The reconstruction is
+precisely the congruent-contributor interval terms of
+:func:`~repro.verify.flow.worst_case_loss`, so reported losses stay
+within the certified bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..allreduce.base import CoverageError, reduction_identity, reduction_ufunc
+from ..allreduce.topology import ButterflyTopology
+from ..cluster.node import payload_nbytes
+from ..faults import LossRecord, RetryPolicy
+from ..obs import NULL_OBSERVER
+from ..sparse import KeyRange, MultiplicativeHasher, split_sorted, union_with_maps
+from .transport import BaseTransport
+
+__all__ = ["run_combined"]
+
+
+def _noop_crash(kind: str, layer: int) -> None:
+    return None
+
+
+def _dead_partial_keys(
+    net: BaseTransport,
+    topo: ButterflyTopology,
+    hole: int,
+    upto: int,
+    seq: int,
+    retry: RetryPolicy,
+) -> np.ndarray:
+    """Exact key set of ``hole``'s lost partial after ``upto`` layers.
+
+    ``state(h, 0)`` is the hole's raw out keys (the layer-1 raw-key
+    piggyback, known to every peer it exchanged with — and if it died
+    before sending anything, its raw keys reached *nobody*, so omitting
+    them is exact, not lossy).  Then per layer::
+
+        state(h, s) = U_p sent(p -> h, s)  U  (state(h, s-1) ^ range(h, s))
+
+    where each ``sent`` piece is retained by its live sender and fetched
+    through the transport's audit control frames.  An unreachable audit
+    peer degrades the reconstruction to a subset — under multi-failure
+    schedules some incomplete aggregates may keep a valid mask, never
+    the reverse.
+    """
+    timeout = min(2.0, max(0.2, 2.0 * retry.base_timeout))
+    raw = None
+    for p in topo.group(hole, 1):
+        if p == hole:
+            continue
+        raw = net.audit(p, "recv", 1, seq, hole, timeout)
+        if raw is not None:
+            break
+    keys = np.asarray(raw, dtype=np.uint64) if raw is not None else np.empty(0, dtype=np.uint64)
+    for s in range(1, upto + 1):
+        kept = keys[topo.key_range(hole, s).contains(keys)]
+        pieces = [kept]
+        for p in topo.group(hole, s):
+            if p == hole:
+                continue
+            piece = net.audit(p, "sent", s, seq, hole, timeout)
+            if piece is not None:
+                pieces.append(np.asarray(piece, dtype=np.uint64))
+        keys = np.unique(np.concatenate(pieces))
+    return keys
+
+
+def run_combined(
+    rank: int,
+    net: BaseTransport,
+    *,
+    degrees: Sequence[int],
+    multiplier: int,
+    op: str,
+    strict: bool,
+    value_shape: tuple,
+    dtype_str: str,
+    in_idx: np.ndarray,
+    out_idx: np.ndarray,
+    values: np.ndarray,
+    retry: RetryPolicy,
+    obs=NULL_OBSERVER,
+    degrade: bool = False,
+    seq: int = 0,
+    maybe_crash: Callable[[str, int], None] = _noop_crash,
+) -> Tuple[np.ndarray, Optional[np.ndarray], List[LossRecord]]:
+    """One node's combined down/up protocol run over ``net``.
+
+    Returns ``(result, lost_raw, losses)``: ``result`` aligns with
+    ``in_idx``; ``lost_raw`` is the sorted subset of ``in_idx`` whose
+    reduced values never arrived (``None`` outside degraded completion —
+    without it, an unrecoverable peer raises
+    :class:`~repro.faults.PeerFailedError` instead); ``losses`` are the
+    individual loss events for the coverage report.
+
+    ``seq`` namespaces one reduction round on a long-lived transport
+    (the cluster driver runs many rounds over one socket mesh) and is
+    the per-link sequence the fault oracle sees, so round ``r`` draws
+    the same fault schedule on every backend.
+    """
+    hasher = MultiplicativeHasher(multiplier)
+    dtype = np.dtype(dtype_str)
+    ufunc = reduction_ufunc(op)
+    identity = reduction_identity(op, dtype)
+    topo = ButterflyTopology(degrees, int(np.prod(degrees)))
+    losses: List[LossRecord] = []
+
+    out_keys, out_inv = np.unique(hasher.hash(out_idx), return_inverse=True)
+    in_keys, in_inv = np.unique(hasher.hash(in_idx), return_inverse=True)
+    if degrade:
+        net.audit_prune(seq)
+    v = np.full((out_keys.size, *value_shape), identity, dtype=dtype)
+    ufunc.at(v, out_inv, np.asarray(values, dtype=dtype))
+    v_mask = np.ones(v.shape[0], dtype=bool) if degrade else None
+
+    rng = KeyRange.full(hasher.key_space)
+    layers = []  # (layer, group, pos, in_slices, in_maps, in_prev_size)
+    for layer in range(1, topo.num_layers + 1):
+        d = topo.degrees[layer - 1]
+        group = topo.group(rank, layer)
+        pos = topo.position(rank, layer)
+        pos_of = {member: q for q, member in enumerate(group)}
+        out_slices = split_sorted(out_keys, rng, d)
+        in_slices = split_sorted(in_keys, rng, d)
+
+        maybe_crash("down", layer)
+        # Each message is tagged with the *sender's* group position so
+        # the receiver can index its merge maps.  Sends run on
+        # background senders (deadlock-free exchange) and are joined
+        # before the layer ends.
+        xchg = obs.begin(
+            f"combined_down L{layer}", node=rank, phase="combined_down", layer=layer
+        )
+        payloads = {}
+        for q, member in enumerate(group):
+            part = (
+                pos,
+                out_keys[out_slices[q]],
+                in_keys[in_slices[q]],
+                np.ascontiguousarray(v[out_slices[q]]),
+            )
+            if degrade:
+                part = part + (v_mask[out_slices[q]],)
+                if layer == 1:
+                    # Raw-key piggyback: lets any surviving peer answer
+                    # a dead-partial audit for this node's state 0.
+                    part = part + (out_keys,)
+                net.audit_sent[(seq, layer, member)] = part[1]
+            obs.message_sent(
+                rank, member, payload_nbytes(part), phase="combined_down", layer=layer
+            )
+            if member == rank:
+                payloads[pos] = part
+            else:
+                net.post(member, "down", layer, part, seq)
+
+        if degrade:
+            got, failed = net.collect(group, "down", layer, seq, missing_ok=True)
+            for m in sorted(failed):
+                losses.append(
+                    LossRecord(
+                        rank=rank, member=m, phase="combined_down", layer=layer
+                    )
+                )
+        else:
+            got, failed = net.collect(group, "down", layer, seq), set()
+        for m, part in got.items():
+            payloads[part[0]] = part
+            if degrade and layer == 1:
+                net.audit_recv[(seq, layer, m)] = part[5]
+        holes = {pos_of[m] for m in failed}
+        net.join_senders()
+        obs.end(xchg)
+
+        merge = obs.begin(
+            f"config L{layer}", node=rank, phase="config", layer=layer, kind="merge"
+        )
+        # A hole (unrecoverable member under degraded completion)
+        # contributes empty index parts: its keys simply never join
+        # this node's union, so nothing routes through the hole.
+        out_parts = [
+            payloads[q][1] if q not in holes else out_keys[:0] for q in range(d)
+        ]
+        in_parts = [
+            payloads[q][2] if q not in holes else in_keys[:0] for q in range(d)
+        ]
+        out_union, out_maps = union_with_maps(out_parts)
+        in_union, in_maps = union_with_maps(in_parts)
+        obs.histogram("config.merge_length").observe(
+            out_union.size, phase="config", layer=layer
+        )
+        obs.end(merge)
+        scatter = obs.begin(
+            f"reduce_down L{layer}",
+            node=rank,
+            phase="reduce_down",
+            layer=layer,
+            kind="merge",
+        )
+        partial = np.full((out_union.size, *value_shape), identity, dtype=dtype)
+        partial_mask = np.ones(out_union.size, dtype=bool) if degrade else None
+        for q in range(d):
+            if q in holes:
+                continue
+            m = out_maps[q]
+            partial[m] = ufunc(partial[m], payloads[q][3])
+            if degrade:
+                partial_mask[m] &= payloads[q][4]
+        # Dead-partial key audit: a hole at layer >= 2 took live members'
+        # earlier contributions with it, so any of our union keys that
+        # were also in the dead partial carry incomplete aggregates.
+        # Reconstruct its exact key set from the peers that fed it and
+        # mask those keys out.  (A layer-1 hole died before integrating
+        # anything: its raw contributions reached nobody, and what
+        # survives is exactly the reduction over the other members.)
+        if degrade and failed and layer >= 2 and out_union.size:
+            for m in sorted(failed):
+                dead = _dead_partial_keys(net, topo, m, layer - 1, seq, retry)
+                if dead.size:
+                    partial_mask[np.isin(out_union, dead)] = False
+        obs.end(scatter)
+
+        layers.append((layer, group, pos, pos_of, in_slices, in_maps, in_keys.size))
+        out_keys, in_keys, v, v_mask = out_union, in_union, partial, partial_mask
+        rng = rng.subrange(pos, d)
+
+    # Bottom projection: where each hosted in-key sits in the reduced
+    # out union (coverage holes — and mask holes, under degradation —
+    # surface here).
+    pos_arr = np.searchsorted(out_keys, in_keys).astype(np.intp)
+    clipped = np.minimum(pos_arr, max(out_keys.size - 1, 0))
+    hit = (
+        out_keys[clipped] == in_keys
+        if out_keys.size and in_keys.size
+        else np.zeros(in_keys.size, dtype=bool)
+    )
+    if strict and not degrade and not bool(hit.all()):
+        raise CoverageError(
+            f"rank {rank}: {int((~hit).sum())} requested indices uncovered"
+        )
+    if degrade and v.size:
+        hit = hit & v_mask[clipped]
+    r = np.full((in_keys.size, *value_shape), identity, dtype=dtype)
+    if v.size:
+        mask = hit.reshape(hit.shape + (1,) * (r.ndim - 1))
+        np.copyto(r, v[clipped], where=mask)
+    r_mask = hit.copy() if degrade else None
+
+    # Upward allgather
+    for layer, group, pos, pos_of, in_slices, in_maps, prev_size in reversed(layers):
+        d = len(group)
+        maybe_crash("up", layer)
+        gather = obs.begin(
+            f"gather_up L{layer}", node=rank, phase="gather_up", layer=layer
+        )
+        for q, member in enumerate(group):
+            part = (pos, np.ascontiguousarray(r[in_maps[q]]))
+            if degrade:
+                part = part + (r_mask[in_maps[q]],)
+            obs.message_sent(
+                rank, member, payload_nbytes(part), phase="gather_up", layer=layer
+            )
+            if member != rank:
+                net.post(member, "up", layer, part, seq)
+        if degrade:
+            out = np.full((prev_size, *value_shape), identity, dtype=dtype)
+            out_mask = np.zeros(prev_size, dtype=bool)
+            out_mask[in_slices[pos]] = r_mask[in_maps[pos]]
+            got, failed = net.collect(group, "up", layer, seq, missing_ok=True)
+            for m in sorted(failed):
+                losses.append(
+                    LossRecord(rank=rank, member=m, phase="gather_up", layer=layer)
+                )
+        else:
+            out = np.zeros((prev_size, *value_shape), dtype=dtype)
+            out_mask = None
+            got = net.collect(group, "up", layer, seq)
+        out[in_slices[pos]] = r[in_maps[pos]]
+        for part in got.values():
+            sender_pos, vals = part[0], part[1]
+            sl = in_slices[sender_pos]
+            if degrade:
+                if len(vals) != (sl.stop - sl.start):
+                    # The member never integrated our config part, so it
+                    # cannot return our keys: whole slice lost.
+                    continue
+                out[sl] = vals
+                out_mask[sl] = part[2]
+            else:
+                out[sl] = vals
+        net.join_senders()
+        obs.end(gather)
+        r, r_mask = out, out_mask
+
+    result = r[in_inv]
+    lost_raw = None
+    if degrade:
+        final_mask = r_mask[in_inv]
+        lost_raw = np.unique(np.asarray(in_idx, dtype=np.int64)[~final_mask])
+    return result, lost_raw, losses

@@ -1,0 +1,427 @@
+"""Transport-agnostic reliability layer shared by the real backends.
+
+:class:`BaseTransport` is the piece of ``repro.net`` that makes a lossy,
+crash-prone medium look like "one logical message per (peer, kind,
+layer, seq)" to the protocol body in :mod:`repro.net.protocol`:
+
+* **Fault injection** — sender paths consult the installed
+  :class:`~repro.faults.FaultPlan` oracle per message and drop,
+  duplicate, or delay accordingly, with the same decision inputs as the
+  simulator fabric (so schedules reproduce bit-identically across all
+  backends).
+* **NACK/retry** — receivers enforce per-attempt deadlines from the
+  :class:`~repro.faults.RetryPolicy` (wall-clock ladder + seeded
+  jitter); a deadline miss NACKs every missing peer, and senders service
+  resends from their send cache.
+* **Dedupe** — retransmitted or fault-duplicated copies are dropped by
+  (peer, kind, layer, seq).
+* **Bounded failure** — a peer EOF or an exhausted retry budget either
+  raises a typed :class:`~repro.faults.PeerFailedError` (strict mode) or
+  marks the member *failed* and keeps going (degraded completion: the
+  caller accounts the hole in a :class:`~repro.faults.CoverageReport`).
+  Never a hang.
+
+Concrete transports implement the medium: pipe send/receive for
+:class:`~repro.net.local.LocalKylix`, framed sockets with per-peer
+sender threads for :class:`~repro.net.tcp.TcpKylix`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..cluster.node import payload_nbytes
+from ..faults import PeerFailedError, RetryPolicy
+from ..faults.plan import _PHASE_ID, canonical_phase
+from ..obs import NULL_OBSERVER
+from ..verify.errors import ProtocolInvariantError
+
+__all__ = ["BaseTransport", "POLL_INTERVAL", "PHASE_OF"]
+
+#: Poll granularity for connection and result waits (seconds).
+POLL_INTERVAL = 0.005
+
+#: Wire kind -> canonical observer phase for message events.  The real
+#: backends run the combined protocol, so the downward exchange reports
+#: as ``combined_down`` (matching the simulator's combined variant).
+PHASE_OF = {"down": "combined_down", "up": "gather_up"}
+
+#: One logical message slot on a link.
+_Key = Tuple[int, str, int, int]  # (member, kind, layer, seq)
+
+
+class BaseTransport:
+    """One node's fault-wrapped, retrying view of its peer links.
+
+    Owns the send cache that services NACKs and the receive inbox with
+    (peer, kind, layer, seq) dedupe.  Subclasses provide the medium:
+
+    ``_send_frame(member, frame)``
+        Transmit one frame; swallow peer-already-gone errors (the
+        reliability layer recovers or reports them) and mark the peer
+        closed on hard loss.
+    ``_pump_once()``
+        Drain whatever has arrived, calling :meth:`_dispatch` per frame;
+        return the list of members newly seen dead (EOF / stale).
+    ``post(member, kind, layer, part, seq=0)``
+        Cache the payload and hand the send to a background sender (a
+        fresh thread on the pipe transport, a per-peer sender thread on
+        the socket transport) so simultaneous exchanges cannot deadlock
+        on transport buffers.
+    """
+
+    def __init__(self, rank: int, plan, retry: RetryPolicy, obs=NULL_OBSERVER):
+        self.rank = int(rank)
+        self.plan = plan
+        self.retry = retry
+        self.obs = obs
+        # Fault decisions happen on sender threads; metric dicts are not
+        # thread-safe, so their updates serialise through this lock.
+        self._obs_lock = threading.Lock()
+        self.sent: Dict[_Key, Any] = {}
+        self.inbox: Dict[_Key, Any] = {}
+        self.arrived: Dict[_Key, float] = {}
+        #: Keys a NACKed peer answered "alive, not produced yet" for —
+        #: the cascade signal :meth:`collect` spends pending waits on.
+        self.waiting: Dict[_Key, float] = {}
+        self.seen: Set[_Key] = set()
+        self.closed: Set[int] = set()
+        #: Members declared unrecoverable by an earlier degraded collect:
+        #: later layers fail them immediately instead of re-burning the
+        #: whole retry ladder on a peer already known dead.
+        self.abandoned: Set[int] = set()
+        #: Dead-partial key audit (degraded completion).  Senders retain
+        #: the out-key slice of every down part per ``(seq, layer,
+        #: peer)``; receivers retain the raw-key piggyback of layer-1
+        #: parts.  A receiver that sees a hole reconstructs the dead
+        #: partial's exact key set from these stores (:meth:`audit`) —
+        #: the combined protocol's substitute for the separate config
+        #: pass's merge maps.
+        self.audit_sent: Dict[Tuple[int, int, int], Any] = {}
+        self.audit_recv: Dict[Tuple[int, int, int], Any] = {}
+        self._audit_replies: Dict[int, Any] = {}
+        self._audit_events: Dict[int, threading.Event] = {}
+        self._audit_token = 0
+        self._audit_lock = threading.Lock()
+        self.duplicates_dropped = 0
+        self.senders: List[threading.Thread] = []
+
+    # -- medium (subclass responsibilities) --------------------------------
+    def _send_frame(self, member: int, frame: Any) -> None:
+        raise NotImplementedError
+
+    def _pump_once(self) -> List[int]:
+        raise NotImplementedError
+
+    def post(self, member: int, kind: str, layer: int, part, seq: int = 0) -> None:
+        raise NotImplementedError
+
+    # -- sending -----------------------------------------------------------
+    def _transmit(
+        self, member, kind, layer, part, seq=0, attempt=0, sent_at=None
+    ) -> None:
+        """Consult the fault oracle, then send (runs on a sender thread).
+
+        ``sent_at`` stamps the wire frame (captured *before* any
+        fault-injected delay, so the delay shows up as delivery latency
+        at the receiver — same accounting as the simulator fabric).
+        """
+        if sent_at is None:
+            sent_at = time.monotonic()
+        decision = None
+        if self.plan is not None:
+            decision = self.plan.decide(self.rank, member, kind, layer, seq, attempt)
+        if decision is not None and self.obs.enabled:
+            with self._obs_lock:
+                if decision.drop:
+                    self.obs.counter("faults.injected").inc(kind="dropped")
+                if decision.delay > 0.0:
+                    self.obs.counter("faults.injected").inc(kind="delayed")
+                if decision.duplicates:
+                    self.obs.counter("faults.injected").inc(
+                        decision.duplicates, kind="duplicated"
+                    )
+        if decision is not None and decision.delay > 0.0:
+            time.sleep(decision.delay)
+        copies = 1 + (decision.duplicates if decision is not None else 0)
+        if decision is not None and decision.drop:
+            copies -= 1
+        frame = ("msg", kind, layer, seq, part, sent_at)
+        for _ in range(copies):
+            self._send_frame(member, frame)
+
+    def join_senders(self, budget: Optional[float] = None) -> None:
+        """Join in-flight sender threads.
+
+        The default budget is the retry policy's full receive budget
+        (:meth:`~repro.faults.RetryPolicy.local_budget`): a sender
+        stalled longer than any receiver could still be waiting is
+        abandoned, never waited on forever — and an aggressive retry
+        configuration grows the join window with it instead of outliving
+        a hard-coded constant.
+        """
+        if budget is None:
+            budget = self.retry.local_budget()
+        deadline = time.monotonic() + budget
+        for t in self.senders:
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+        self.senders = [t for t in self.senders if t.is_alive()]
+
+    # -- receiving ---------------------------------------------------------
+    def _dispatch(self, member: int, obj) -> None:
+        if obj[0] == "msg":
+            _, kind, layer, seq, part, sent_at = obj
+            key = (member, kind, layer, seq)
+            if key in self.seen:
+                self.duplicates_dropped += 1
+                with self._obs_lock:
+                    self.obs.counter("faults.duplicates_dropped").inc(
+                        phase=kind, layer=layer
+                    )
+                return
+            now = time.monotonic()
+            self.seen.add(key)
+            self.inbox[key] = part
+            self.arrived[key] = now
+            if self.obs.enabled:
+                with self._obs_lock:
+                    self.obs.message_delivered(
+                        member,
+                        self.rank,
+                        payload_nbytes(part),
+                        sent_at,
+                        now,
+                        phase=PHASE_OF.get(kind, kind),
+                        layer=layer,
+                    )
+        elif obj[0] == "nack":
+            _, kind, layer, seq, attempt = obj
+            part = self.sent.get((member, kind, layer, seq))
+            if part is not None:
+                with self._obs_lock:
+                    self.obs.counter("faults.resent").inc(phase=kind, layer=layer)
+                # Service the resend off-thread; the retransmission gets
+                # an independent fault draw (attempt bumps the oracle).
+                t = threading.Thread(
+                    target=self._transmit,
+                    args=(member, kind, layer, part, seq, attempt),
+                )
+                t.daemon = True
+                t.start()
+                self.senders.append(t)
+            else:
+                # We have not produced that message yet (e.g. we are
+                # stuck one layer back burning our own retry budget on a
+                # dead upstream peer).  Tell the requester we are alive
+                # and slow, so its pending-wait patience is spent only on
+                # live cascades.  The reply takes the same fault draw the
+                # retransmission would have taken: on a partitioned link
+                # it is swallowed and the requester gives up fast.
+                decision = None
+                if self.plan is not None:
+                    decision = self.plan.decide(
+                        self.rank, member, kind, layer, seq, attempt
+                    )
+                if decision is None or not decision.drop:
+                    self._send_frame(member, ("wait", kind, layer, seq))
+        elif obj[0] == "wait":
+            _, kind, layer, seq = obj
+            self.waiting[(member, kind, layer, seq)] = time.monotonic()
+        elif obj[0] == "audit-req":
+            # Control plane, like NACKs: answered inline from the
+            # retained key stores, never fault-injected.
+            _, token, direction, layer, seq, hole = obj
+            store = self.audit_sent if direction == "sent" else self.audit_recv
+            self._send_frame(member, ("audit-rep", token, store.get((seq, layer, hole))))
+        elif obj[0] == "audit-rep":
+            _, token, keys = obj
+            self._audit_replies[token] = keys
+            evt = self._audit_events.get(token)
+            if evt is not None:
+                evt.set()
+        else:
+            raise ProtocolInvariantError(
+                f"rank {self.rank}: unknown frame {obj[0]!r} from {member}",
+                invariant="message-order",
+            )
+
+    def pump(self) -> List[int]:
+        """Drain everything readable once; returns peers newly seen dead."""
+        return self._pump_once()
+
+    def _jitter_salt(self, kind: str, layer: int, seq: int) -> tuple:
+        # Per-(node, phase, layer, seq) salt: peers that all lost the
+        # same message draw *different* deadlines and do not stampede
+        # the recovering sender with synchronized NACKs.
+        return (self.rank, _PHASE_ID.get(canonical_phase(kind), 0), layer, seq)
+
+    def collect(
+        self,
+        members: Sequence[int],
+        kind: str,
+        layer: int,
+        seq: int = 0,
+        *,
+        missing_ok: bool = False,
+    ):
+        """Block until one (kind, layer, seq) message from every member.
+
+        Per-attempt deadlines with exponential backoff and seeded
+        jitter; deadline misses NACK every missing peer.  A peer that
+        hits EOF or outlives the retry budget either raises
+        :class:`PeerFailedError` (default) or — with ``missing_ok`` —
+        is marked failed and skipped.  Either way: bounded time.
+
+        Returns ``{member: payload}`` without ``missing_ok``;
+        ``({member: payload}, failed_members)`` with it.
+        """
+        retry = self.retry
+        salt = self._jitter_salt(kind, layer, seq)
+        wanted = [m for m in members if m != self.rank]
+        failed: Set[int] = set()
+        if missing_ok:
+            for m in wanted:
+                if m in self.abandoned:
+                    failed.add(m)
+            wanted = [m for m in wanted if m not in failed]
+        attempt = 0
+        # A member can be late because *its* upstream peer died and it is
+        # burning its own retry budget; such members answer NACKs with
+        # "wait" frames and get extra top-of-ladder deadlines that do not
+        # consume our budget — capped, so a cascade of failures still
+        # resolves in bounded time (mirrors the simulator's pending-wait
+        # cap in ``KylixAllreduce._recv_group``).
+        pending_waits = 0
+        max_pending = 4 * (retry.max_retries + 1)
+        deadline = time.monotonic() + retry.local_timeout(0, salt)
+        while True:
+            missing = [m for m in wanted if (m, kind, layer, seq) not in self.inbox]
+            if not missing:
+                got = {m: self.inbox[(m, kind, layer, seq)] for m in wanted}
+                if self.obs.enabled:
+                    # Queue wait: dispatch time -> consumption time,
+                    # mirroring the simulator fabric's mailbox accounting.
+                    now = time.monotonic()
+                    with self._obs_lock:
+                        for m in wanted:
+                            arr = self.arrived.get((m, kind, layer, seq))
+                            if arr is not None:
+                                self.obs.histogram("net.queue_wait").observe(
+                                    max(now - arr, 0.0),
+                                    node=self.rank,
+                                    phase=PHASE_OF.get(kind, kind),
+                                    layer=layer,
+                                )
+                return (got, failed) if missing_ok else got
+            # Drain *every* connection, not just the missing peers': NACKs
+            # for our earlier sends arrive on links this collect is not
+            # waiting on, and leaving them unread deadlocks chains of
+            # stuck groups (each blocked node polls only the peers it
+            # waits for, so nobody services anybody's resend requests).
+            self.pump()
+            still = []
+            for m in missing:
+                if m in self.closed and (m, kind, layer, seq) not in self.inbox:
+                    if not missing_ok:
+                        raise PeerFailedError(
+                            f"rank {self.rank}: peer {m} closed its connection "
+                            f"during {kind} layer {layer}",
+                            slot=m, phase=kind, layer=layer,
+                        )
+                    failed.add(m)
+                    self.abandoned.add(m)
+                else:
+                    still.append(m)
+            wanted = [m for m in wanted if m not in failed]
+            missing = still
+            if not missing:
+                continue
+            if time.monotonic() >= deadline:
+                if attempt >= retry.max_retries:
+                    # Consume (one-shot) any "alive, not produced yet"
+                    # answers: a peer in a live cascade re-earns its
+                    # patience every round, a silent or dead peer never
+                    # does.
+                    pending = [
+                        m for m in missing
+                        if self.waiting.pop((m, kind, layer, seq), None) is not None
+                    ]
+                    if pending and pending_waits < max_pending:
+                        pending_waits += 1
+                        for m in missing:
+                            self._send_frame(m, ("nack", kind, layer, seq, attempt))
+                        deadline = time.monotonic() + retry.local_timeout(
+                            attempt, salt
+                        )
+                        time.sleep(POLL_INTERVAL)
+                        continue
+                    if not missing_ok:
+                        raise PeerFailedError(
+                            f"rank {self.rank}: no {kind} layer {layer} message "
+                            f"from {missing} within the retry budget "
+                            f"({retry.max_retries} resend requests)",
+                            slot=missing[0], phase=kind, layer=layer,
+                        )
+                    for m in missing:
+                        failed.add(m)
+                        self.abandoned.add(m)
+                    wanted = [m for m in wanted if m not in failed]
+                    continue
+                attempt += 1
+                for m in missing:
+                    self._send_frame(m, ("nack", kind, layer, seq, attempt))
+                deadline = time.monotonic() + retry.local_timeout(attempt, salt)
+            time.sleep(POLL_INTERVAL)
+
+    def audit(
+        self, member: int, direction: str, layer: int, seq: int, hole: int,
+        timeout: float,
+    ) -> Optional[Any]:
+        """Fetch retained audit keys about ``hole`` from ``member``.
+
+        ``direction`` is ``"sent"`` (the out-key slice ``member`` sent to
+        ``hole`` at ``layer``) or ``"recv"`` (the raw-key piggyback
+        ``member`` received from ``hole`` at layer 1).  Returns ``None``
+        when the peer has nothing retained or does not answer within
+        ``timeout`` — the caller degrades to a partial reconstruction.
+        """
+        store = self.audit_sent if direction == "sent" else self.audit_recv
+        if member == self.rank:
+            return store.get((seq, layer, hole))
+        if member in self.closed or member in self.abandoned:
+            return None
+        with self._audit_lock:
+            self._audit_token += 1
+            token = self._audit_token
+        evt = threading.Event()
+        self._audit_events[token] = evt
+        self._send_frame(member, ("audit-req", token, direction, layer, seq, hole))
+        deadline = time.monotonic() + timeout
+        # Pump while waiting: on the pipe transport replies only surface
+        # through our own drain, and two peers auditing each other's
+        # holes simultaneously must keep servicing one another.
+        while not evt.is_set() and time.monotonic() < deadline:
+            self.pump()
+            evt.wait(timeout=POLL_INTERVAL)  # lint: ok — bounded wait
+        del self._audit_events[token]
+        return self._audit_replies.pop(token, None)
+
+    def audit_prune(self, seq: int) -> None:
+        """Drop audit retention older than the previous round."""
+        for store in (self.audit_sent, self.audit_recv):
+            for k in [k for k in store if k[0] < seq - 1]:
+                del store[k]
+
+    def linger(self, done_evt, budget: float) -> None:
+        """After finishing: keep servicing NACKs until everyone is done."""
+        deadline = time.monotonic() + budget
+        while not done_evt.is_set() and time.monotonic() < deadline:
+            self.pump()
+            if done_evt.wait(timeout=0.02):  # lint: ok — bounded wait
+                break
+        self.join_senders(budget=1.0)
+
+    def close(self) -> None:
+        """Release medium resources (sockets, threads).  Idempotent."""

@@ -27,7 +27,7 @@ __all__ = [
     "run_traced",
 ]
 
-BACKENDS = ("sim", "local")
+BACKENDS = ("sim", "local", "tcp")
 
 #: The deliberately slow node in the ``straggler`` experiment and the
 #: fixed delay its outgoing links carry.  Exposed so the acceptance tests
@@ -119,9 +119,20 @@ EXPERIMENTS: Dict[str, Callable[[int], Dict[str, Any]]] = {
 
 
 def run_traced(
-    experiment: str, *, backend: str = "sim", seed: int = 0
+    experiment: str,
+    *,
+    backend: str = "sim",
+    seed: int = 0,
+    kill: Any = None,
 ) -> Tuple[Any, Dict[str, Any]]:
-    """Run one named experiment fully observed; return ``(observer, info)``."""
+    """Run one named experiment fully observed; return ``(observer, info)``.
+
+    ``kill`` — an optional ``(node, phase, layer)`` crash point — augments
+    the experiment's fault plan with a ``kill_at_step`` and switches the
+    run to degraded completion: the survivors finish, ``info["report"]``
+    carries the :class:`~repro.faults.CoverageReport`, and the exactness
+    check skips exactly the indices the report declares lost.
+    """
     if experiment not in EXPERIMENTS:
         raise ValueError(
             f"unknown experiment {experiment!r}; choose from {sorted(EXPERIMENTS)}"
@@ -129,6 +140,7 @@ def run_traced(
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
     from ..allreduce import ReduceSpec, dense_reduce
+    from ..faults import FaultPlan, RetryPolicy
     from .observer import Observer
 
     w = EXPERIMENTS[experiment](seed)
@@ -136,6 +148,15 @@ def run_traced(
     spec = ReduceSpec(in_indices=w["in_idx"], out_indices=w["out_idx"])
     faults = w.get("faults")
     retry = w.get("retry")
+    degrade = kill is not None
+    if degrade:
+        node, phase, layer = kill
+        faults = (faults or FaultPlan(seed=seed)).kill_at_step(
+            int(node), phase, int(layer)
+        )
+        # Degraded completion needs wall-clock deadlines; keep them small
+        # so the dead member is given up on in seconds, not minutes.
+        retry = retry or RetryPolicy(base_timeout=0.2, max_retries=2)
 
     info: Dict[str, Any] = {
         "experiment": experiment,
@@ -144,6 +165,7 @@ def run_traced(
         "n": w["n"],
         "degrees": degrees,
         "seed": seed,
+        "report": None,
     }
 
     if backend == "sim":
@@ -153,21 +175,65 @@ def run_traced(
         cluster = Cluster(m, seed=seed, failures=faults, observe=True)
         obs = cluster.obs
         obs.name = f"{experiment}@sim"
-        net = KylixAllreduce(cluster, degrees=degrees, retry=retry)
+        net = KylixAllreduce(cluster, degrees=degrees, retry=retry, degrade=degrade)
         net.configure(spec)
         result = net.reduce(w["values"])
         info["stats"] = cluster.stats
         info["config_seconds"] = net.config_timing.elapsed
         info["reduce_seconds"] = net.last_reduce_timing.elapsed
-    else:
+        info["report"] = net.last_report
+    elif backend == "local":
         from ..net.local import LocalKylix
 
         obs = Observer(name=f"{experiment}@local")
-        net = LocalKylix(degrees=degrees, faults=faults, retry=retry, observe=obs)
+        net = LocalKylix(
+            degrees=degrees, faults=faults, retry=retry, observe=obs,
+            degrade=degrade,
+        )
         result = net.allreduce(spec, w["values"])
+        info["report"] = net.last_report
+    else:
+        from ..net.tcp import TcpKylix
 
-    reference = dense_reduce(spec, w["values"])
-    info["exact"] = all(
-        np.allclose(result[r], reference[r], atol=1e-9) for r in range(m)
-    )
+        obs = Observer(name=f"{experiment}@tcp")
+        net = TcpKylix(
+            degrees=degrees, faults=faults, retry=retry, observe=obs,
+            degrade=degrade,
+        )
+        result = net.allreduce(spec, w["values"])
+        info["report"] = net.last_report
+
+    ref_values = w["values"]
+    if degrade and backend != "sim" and phase == "down" and int(layer) == 1:
+        # The victim died before sending anything: on the combined
+        # backends its contributions reached nobody and its keys never
+        # joined any union, so the surviving aggregates are exactly the
+        # reduction over the *other* members.  (The simulator branch
+        # runs the separate protocol, whose config maps let receivers
+        # mask every victim-touched key — there the full reference
+        # holds.)  Deeper kills leave the victim's layer-1 parts
+        # integrated everywhere, so the full reference applies and the
+        # dead-partial audit accounts what its crash took with it.
+        from ..allreduce.base import reduction_identity
+
+        ident = reduction_identity(spec.op, np.dtype(spec.dtype))
+        ref_values = dict(w["values"])
+        ref_values[int(node)] = np.full_like(
+            np.asarray(ref_values[int(node)], dtype=spec.dtype), ident
+        )
+    reference = dense_reduce(spec, ref_values)
+    report = info["report"]
+    lost = getattr(report, "lost_indices", {}) if report is not None else {}
+
+    def _exact(r: int) -> bool:
+        got = result.get(r) if isinstance(result, dict) else result[r]
+        if got is None:
+            return r in lost  # dead rank: no result is fine iff accounted
+        lost_r = lost.get(r)
+        if lost_r is None or not len(lost_r):
+            return bool(np.allclose(got, reference[r], atol=1e-9))
+        keep = ~np.isin(np.asarray(w["in_idx"][r]), np.asarray(lost_r))
+        return bool(np.allclose(got[keep], reference[r][keep], atol=1e-9))
+
+    info["exact"] = all(_exact(r) for r in range(m))
     return obs, info

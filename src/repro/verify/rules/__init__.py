@@ -13,6 +13,7 @@ from .dtypes import ExplicitDtypeRule
 from .exports import ModuleExportsRule
 from .mutable_defaults import NoMutableDefaultArgRule
 from .noprint import NoPrintRule
+from .sockets import SocketTimeoutRule
 from .spans import SpanBalanceRule
 from .timeouts import ExplicitTimeoutRule
 
@@ -27,6 +28,7 @@ __all__ = [
     "ExplicitTimeoutRule",
     "NoMutableDefaultArgRule",
     "NoPrintRule",
+    "SocketTimeoutRule",
     "SpanBalanceRule",
 ]
 
@@ -40,5 +42,6 @@ RULES = [
     ExplicitTimeoutRule,
     NoMutableDefaultArgRule,
     NoPrintRule,
+    SocketTimeoutRule,
     SpanBalanceRule,
 ]

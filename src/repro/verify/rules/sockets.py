@@ -1,0 +1,144 @@
+"""Rule: sockets in ``net/`` must carry an explicit timeout.
+
+The TCP backend (:mod:`repro.net.tcp`) is the fault-tolerance layer's
+contact with the real network: a socket left in blocking mode hangs
+``accept``/``recv``/``connect`` forever when a peer dies mid-handshake —
+the exact failure the heartbeat/retry machinery exists to bound.  Two
+shapes are enforced:
+
+* ``socket.socket(...)`` must be assigned to a name and followed, in the
+  same function scope, by a ``<name>.settimeout(...)`` call.  A socket
+  constructed anonymously (passed straight into another call) can never
+  be given a timeout, so it is flagged outright.
+* ``socket.create_connection(...)`` must pass its ``timeout`` argument
+  (second positional or keyword) — the default is ``None``, i.e. block
+  forever.
+
+Sockets returned by ``accept()`` are covered transitively: the code that
+installs them calls ``settimeout`` before handing them to reader
+threads, and any blocking call on them is caught by the companion
+``explicit-timeout`` rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from ..lint import LintFinding, LintRule
+
+__all__ = ["SocketTimeoutRule"]
+
+
+def _is_socket_ctor(call: ast.Call) -> bool:
+    f = call.func
+    return (
+        isinstance(f, ast.Attribute)
+        and f.attr == "socket"
+        and isinstance(f.value, ast.Name)
+        and f.value.id == "socket"
+    )
+
+
+def _is_create_connection(call: ast.Call) -> bool:
+    f = call.func
+    return (
+        isinstance(f, ast.Attribute)
+        and f.attr == "create_connection"
+        and isinstance(f.value, ast.Name)
+        and f.value.id == "socket"
+    )
+
+
+class SocketTimeoutRule(LintRule):
+    name = "socket-timeout"
+    description = (
+        "sockets in net/ must get a timeout: socket.socket() needs a "
+        "matching .settimeout() in the same scope, create_connection() "
+        "needs its timeout argument (default blocks forever)"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("net/")
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[LintFinding]:
+        scopes: List[ast.AST] = [tree] + [
+            n
+            for n in ast.walk(tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            # Direct statements of this scope only — nested functions are
+            # their own scope and get their own pass.
+            body: List[ast.stmt] = []
+            stack = list(getattr(scope, "body", []))
+            while stack:
+                stmt = stack.pop()
+                body.append(stmt)
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                    ):
+                        continue
+                    if isinstance(child, ast.stmt):
+                        stack.append(child)
+                    else:
+                        stack.extend(
+                            s for s in ast.walk(child) if isinstance(s, ast.stmt)
+                        )
+            timed: Set[str] = set()
+            calls: List[ast.Call] = []
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    if isinstance(
+                        node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                    ):
+                        break
+                    if not isinstance(node, ast.Call):
+                        continue
+                    calls.append(node)
+                    f = node.func
+                    if (
+                        isinstance(f, ast.Attribute)
+                        and f.attr == "settimeout"
+                        and isinstance(f.value, ast.Name)
+                    ):
+                        timed.add(f.value.id)
+            assigned: Set[int] = set()
+            for stmt in body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and isinstance(stmt.value, ast.Call)
+                    and _is_socket_ctor(stmt.value)
+                ):
+                    assigned.add(id(stmt.value))
+                    names = [
+                        t.id for t in stmt.targets if isinstance(t, ast.Name)
+                    ]
+                    if not any(n in timed for n in names):
+                        yield self.finding(
+                            relpath,
+                            stmt.value,
+                            "socket.socket() without a matching .settimeout() "
+                            "in this scope blocks forever if the peer dies; "
+                            "set a timeout before any accept/recv/connect",
+                        )
+            for call in calls:
+                if _is_socket_ctor(call) and id(call) not in assigned:
+                    yield self.finding(
+                        relpath,
+                        call,
+                        "anonymous socket.socket() can never be given a "
+                        "timeout; assign it to a name and .settimeout() it",
+                    )
+                elif _is_create_connection(call):
+                    if len(call.args) < 2 and not any(
+                        kw.arg == "timeout" for kw in call.keywords
+                    ):
+                        yield self.finding(
+                            relpath,
+                            call,
+                            "socket.create_connection() without timeout= "
+                            "defaults to blocking forever; pass an explicit "
+                            "timeout",
+                        )

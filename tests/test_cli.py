@@ -134,7 +134,7 @@ class TestDocsPins:
 
         docs = Path(__file__).resolve().parents[1] / "docs" / "observability.md"
         text = docs.read_text()
-        table_rows = re.findall(r"^\| `([a-z]+)` \|", text, flags=re.MULTILINE)
+        table_rows = re.findall(r"^\| `([a-z-]+)` \|", text, flags=re.MULTILINE)
         assert table_rows, "the COMMANDS table went missing from the docs"
         assert set(table_rows) == set(COMMANDS)
         # the table preserves the CLI's own ordering

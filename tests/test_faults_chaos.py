@@ -131,6 +131,45 @@ class TestSimulatedChaos:
         for r in range(8):
             np.testing.assert_array_equal(out_a[r], out_b[r])
 
+    @pytest.mark.parametrize("jitter_seed", [0, 7, 123])
+    def test_zero_jitter_traffic_bit_identical(self, jitter_seed):
+        """RetryPolicy's docstring promise, property-tested: ``jitter=0``
+        leaves the fault schedule, the message trace, and the simulated
+        clock bit-identical to the default policy, whatever the jitter
+        seed — the seed may only matter once jitter is non-zero."""
+        spec, vals = make_case(8, 500, 10)
+
+        def run_with(retry):
+            cluster = Cluster(8, failures=chaos_plan())
+            tracer = attach_tracer(cluster)
+            net = KylixAllreduce(cluster, degrees=[4, 2], retry=retry)
+            out = net.allreduce(spec, vals)
+            return out, tracer.records, dict(cluster.fabric.injected), cluster.now
+
+        base_out, base_trace, base_injected, base_now = run_with(RetryPolicy())
+        out, trace, injected, now = run_with(
+            RetryPolicy(jitter=0.0, jitter_seed=jitter_seed)
+        )
+        assert trace == base_trace
+        assert injected == base_injected
+        assert now == base_now
+        for r in range(8):
+            np.testing.assert_array_equal(out[r], base_out[r])
+
+    def test_nonzero_jitter_changes_deadlines_not_results(self):
+        spec, vals = make_case(8, 500, 10)
+
+        def run_with(retry):
+            cluster = Cluster(8, failures=chaos_plan())
+            net = KylixAllreduce(cluster, degrees=[4, 2], retry=retry)
+            return net.allreduce(spec, vals), cluster.now
+
+        base_out, base_now = run_with(RetryPolicy())
+        out, now = run_with(RetryPolicy(jitter=0.5, jitter_seed=1))
+        assert now != base_now  # desynchronized retry deadlines
+        for r in range(8):
+            np.testing.assert_array_equal(out[r], base_out[r])
+
     def test_different_seeds_inject_different_schedules(self):
         spec, vals = make_case(8, 500, 5)
 
@@ -189,6 +228,33 @@ class TestLocalChaos:
             net.allreduce(spec, vals)
         elapsed = time.monotonic() - start
         assert elapsed < 30.0  # far below the old hard-coded 120 s hang
+        deadline = time.monotonic() + 5.0
+        while mp.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert mp.active_children() == []
+
+    def test_local_death_after_config_before_traffic_heartbeat_reaps(self):
+        """The heartbeat-reaping edge: the victim builds its transport
+        (the 'configure' stage of the combined run) and dies immediately
+        before its first send — it never posts a result and never sends
+        a byte, so only the parent's exitcode heartbeat can notice.  The
+        typed error must arrive in seconds, far below both the 30 s run
+        budget and the peers' own retry ladders."""
+        spec, vals = make_case(4, 200, 11)
+        retry = RetryPolicy(base_timeout=0.2, max_retries=2)
+        net = LocalKylix(
+            [2, 2],
+            faults=FaultPlan().kill_at_step(1, "down", 1),
+            retry=retry,
+            timeout=30.0,
+            join_timeout=5.0,
+        )
+        start = time.monotonic()
+        with pytest.raises(PeerFailedError):
+            net.allreduce(spec, vals)
+        elapsed = time.monotonic() - start
+        # Heartbeat grace (1 s) + spawn/teardown slack, not the timeout.
+        assert elapsed < 15.0
         deadline = time.monotonic() + 5.0
         while mp.active_children() and time.monotonic() < deadline:
             time.sleep(0.05)

@@ -1,0 +1,129 @@
+"""The TCP wire framing codec, exercised without any real protocol run.
+
+The failure mode that matters is a peer SIGKILLed mid-send: the stream
+ends inside a frame (mid-header or mid-body) and the reader must raise
+:class:`FrameTruncatedError` — a first-class fault, distinct from the
+orderly close at a frame boundary that ends every healthy connection.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.net.framing import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    FrameTruncatedError,
+    decode_frame,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        for obj in [None, 42, "hello", ("part", 3, b"\x00" * 100), [1, 2, 3]]:
+            assert decode_frame(encode_frame(obj)) == obj
+
+    def test_roundtrip_ndarray(self):
+        arr = np.arange(1000, dtype=np.float64)
+        np.testing.assert_array_equal(decode_frame(encode_frame(arr)), arr)
+
+    def test_eof_mid_header(self):
+        frame = encode_frame("payload")
+        with pytest.raises(FrameTruncatedError, match="header"):
+            decode_frame(frame[:2])
+
+    def test_eof_mid_body(self):
+        frame = encode_frame("a longer payload so the body is not tiny")
+        with pytest.raises(FrameTruncatedError, match="truncated"):
+            decode_frame(frame[:-5])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(FrameError, match="trailing"):
+            decode_frame(encode_frame("x") + b"junk")
+
+    def test_absurd_length_prefix_rejected(self):
+        header = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(FrameError, match="cap"):
+            decode_frame(header + b"")
+
+    def test_undecodable_body_rejected(self):
+        body = b"\xde\xad\xbe\xef"
+        with pytest.raises(FrameError, match="undecodable"):
+            decode_frame(len(body).to_bytes(4, "big") + body)
+
+
+class TestFrameDecoder:
+    def test_byte_at_a_time_reassembly(self):
+        objs = [("part", i, b"x" * i) for i in range(5)]
+        stream = b"".join(encode_frame(o) for o in objs)
+        dec = FrameDecoder()
+        got = []
+        for i in range(len(stream)):
+            got.extend(dec.feed(stream[i : i + 1]))
+        assert got == objs
+        assert dec.pending_bytes == 0
+        dec.eof()  # clean close at a frame boundary: no error
+
+    def test_several_frames_per_chunk(self):
+        objs = ["a", "b", "c"]
+        dec = FrameDecoder()
+        assert dec.feed(b"".join(encode_frame(o) for o in objs)) == objs
+
+    def test_eof_mid_frame_raises(self):
+        dec = FrameDecoder()
+        frame = encode_frame({"seq": 7})
+        assert dec.feed(frame[: len(frame) // 2]) == []
+        with pytest.raises(FrameTruncatedError, match="mid-frame"):
+            dec.eof()
+
+    def test_eof_mid_header_raises(self):
+        dec = FrameDecoder()
+        assert dec.feed(b"\x00\x00") == []
+        with pytest.raises(FrameTruncatedError):
+            dec.eof()
+
+
+class TestSocketHelpers:
+    def test_send_recv_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, ("hello", 1, np.arange(8)))
+            ok, msg = recv_frame(b, timeout=2.0)
+            assert ok and msg[0] == "hello" and msg[1] == 1
+            np.testing.assert_array_equal(msg[2], np.arange(8))
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_false(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b, timeout=2.0) == (False, None)
+        finally:
+            b.close()
+
+    def test_peer_death_mid_frame_raises(self):
+        """The acceptance shape: the sender dies after the header but
+        before the body finishes — the reader sees EOF mid-frame."""
+        a, b = socket.socketpair()
+        frame = encode_frame(b"z" * 4096)
+
+        def die_mid_send():
+            a.sendall(frame[: len(frame) // 2])
+            a.close()
+
+        t = threading.Thread(target=die_mid_send)
+        t.start()
+        try:
+            with pytest.raises(FrameTruncatedError):
+                recv_frame(b, timeout=2.0)
+        finally:
+            t.join(timeout=2.0)
+            b.close()

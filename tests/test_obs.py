@@ -289,7 +289,7 @@ class TestLocalBackend:
 class TestRunner:
     def test_registry_names(self):
         assert set(EXPERIMENTS) == {"quickstart", "demo", "faults", "straggler", "soak"}
-        assert BACKENDS == ("sim", "local")
+        assert BACKENDS == ("sim", "local", "tcp")
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(ValueError, match="unknown experiment"):

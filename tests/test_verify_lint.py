@@ -17,6 +17,7 @@ from repro.verify.rules import (
     NoPrintRule,
     NoUnseededRngRule,
     NoWallClockRule,
+    SocketTimeoutRule,
     SpanBalanceRule,
 )
 
@@ -385,6 +386,68 @@ class TestRuleFixtures:
         )
         assert lint_file(path, [SpanBalanceRule()], relpath="__main__.py") == []
 
+    def test_socket_timeout_fires_on_bare_socket(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+            import socket
+
+            def listen(port):
+                s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                s.bind(("127.0.0.1", port))
+                return s
+            """,
+        )
+        findings = lint_file(path, [SocketTimeoutRule()], relpath="net/fixture.py")
+        assert rules_fired(findings) == {"socket-timeout"}
+
+    def test_socket_timeout_fires_on_untimed_create_connection(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+            import socket
+
+            def dial(addr):
+                return socket.create_connection(addr)
+            """,
+        )
+        findings = lint_file(path, [SocketTimeoutRule()], relpath="net/fixture.py")
+        assert rules_fired(findings) == {"socket-timeout"}
+
+    def test_socket_timeout_accepts_timed_sockets(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+            import socket
+
+            def listen(port):
+                s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                s.settimeout(0.1)
+                s.bind(("127.0.0.1", port))
+                return s
+
+            def dial(addr):
+                return socket.create_connection(addr, timeout=1.0)
+            """,
+        )
+        assert lint_file(path, [SocketTimeoutRule()], relpath="net/fixture.py") == []
+
+    def test_socket_timeout_scoped_to_net(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+            import socket
+
+            def dial(addr):
+                return socket.create_connection(addr)
+            """,
+        )
+        assert lint_file(path, [SocketTimeoutRule()], relpath="obs/fixture.py") == []
+
     def test_syntax_error_is_reported_not_raised(self, tmp_path):
         path = write_fixture(tmp_path, "def broken(:\n")
         findings = lint_file(path)
@@ -412,6 +475,7 @@ class TestPackageClean:
             "explicit-timeout",
             "no-mutable-default-arg",
             "no-print",
+            "socket-timeout",
             "span-balance",
         }
 
