@@ -61,6 +61,14 @@ COMMANDS: dict[str, tuple[str, str]] = {
         "[workload] [--failure-mode MODE] [--rounds K] [--manifest FILE]",
         "drive a launched cluster through a workload under a failure mode",
     ),
+    "serve": (
+        "[--backend sim|local|tcp] [--streams K] [--reduces N]",
+        "multiplex named reduce streams through the allreduce service",
+    ),
+    "drive-service": (
+        "[--backend sim|local|tcp] [--reduces N] [--json FILE]",
+        "service-throughput benchmark: cached+pipelined vs configure-per-reduce",
+    ),
 }
 
 
@@ -586,7 +594,8 @@ def _perf(args: list[str]) -> int:
         default=["quickstart"],
         metavar="experiment",
         help="experiments to measure (default: quickstart); choose from "
-        + ", ".join(sorted(EXPERIMENTS)),
+        + ", ".join(sorted(EXPERIMENTS))
+        + ", or 'service' for the service-throughput row (sim only)",
     )
     parser.add_argument(
         "--backend", default="sim", choices=list(BACKENDS),
@@ -610,12 +619,16 @@ def _perf(args: list[str]) -> int:
         help="also write the per-metric comparison as JSON (CI artifact)",
     )
     opts = parser.parse_args(args)
-    unknown = [e for e in opts.experiments if e not in EXPERIMENTS]
+    unknown = [
+        e for e in opts.experiments if e not in EXPERIMENTS and e != "service"
+    ]
     if unknown:
         parser.error(
             f"unknown experiment(s) {', '.join(unknown)}; "
-            f"choose from {', '.join(sorted(EXPERIMENTS))}"
+            f"choose from {', '.join(sorted(EXPERIMENTS))} or service"
         )
+    if "service" in opts.experiments and opts.backend != "sim":
+        parser.error("the service row runs on the sim backend only")
     if opts.tolerance is not None and opts.tolerance < 0:
         parser.error("--tolerance must be non-negative")
     code, report = run_perf(
@@ -918,6 +931,21 @@ def _drive_cluster(args: list[str]) -> int:
     for err in outcome["errors"]:
         print(f"  note: {err}")
     ok = True
+    cc = outcome.get("config_cache")
+    if cc is not None and (cc["hits"] + cc["misses"]) > 0:
+        print(
+            f"  config cache: {cc['hits']} hit(s), {cc['misses']} miss(es) "
+            f"(hit rate {cc['hit_rate']:.0%})"
+        )
+        if (
+            opts.concurrency > 1
+            and outcome["rounds_run"] > 1
+            and opts.failure_mode == "none"
+            and cc["hits"] == 0
+        ):
+            print("  config-cache gate: batched rounds produced zero cached-"
+                  "config hits — the shared wire plan is not being reused")
+            ok = False
     if "coverage" in outcome:
         print("  " + outcome["coverage"].replace("\n", "\n  "))
         if outcome["bound_ok"]:
@@ -955,6 +983,225 @@ def _drive_cluster(args: list[str]) -> int:
     return 0 if ok else 1
 
 
+def _service_workload(m: int, n: int, seed: int):
+    """One fixed sparsity pattern for the service CLI commands."""
+    from .allreduce import ReduceSpec
+
+    rng = np.random.default_rng(seed)
+    idx = {
+        r: np.unique(
+            np.concatenate([rng.choice(n, 40), np.arange(r, n, m, dtype=np.int64)])
+        ).astype(np.int64)
+        for r in range(m)
+    }
+    return ReduceSpec(in_indices=idx, out_indices=idx), idx, rng
+
+
+def _serve(args: list[str]) -> int:
+    import argparse
+
+    from .allreduce import dense_reduce
+    from .cluster import Cluster
+    from .service import ReduceService
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="stand up the allreduce service and multiplex named "
+        "reduce streams over one backend: each stream binds its own "
+        "sparsity pattern, submissions interleave round-robin, and every "
+        "result is checked against the dense reference",
+    )
+    parser.add_argument(
+        "--backend", default="sim", choices=["sim", "local", "tcp"],
+        help="execution backend (default: sim)",
+    )
+    parser.add_argument("--nodes", type=int, default=8, help="cluster size")
+    parser.add_argument(
+        "--degrees", default=None,
+        help="comma-separated degree stack (default: 4,2 for 8 nodes)",
+    )
+    parser.add_argument(
+        "--streams", type=int, default=3, help="named streams to open (default: 3)"
+    )
+    parser.add_argument(
+        "--reduces", type=int, default=9,
+        help="total reduces, submitted round-robin across streams (default: 9)",
+    )
+    parser.add_argument(
+        "--slots", type=int, default=4, help="service concurrency slots"
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=16, help="admission-queue bound"
+    )
+    parser.add_argument("--n", type=int, default=600, help="feature count")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    opts = parser.parse_args(args)
+    if opts.nodes < 2 or opts.streams < 1 or opts.reduces < 1:
+        parser.error("--nodes >= 2, --streams >= 1, --reduces >= 1 required")
+    if opts.degrees:
+        try:
+            degrees = [int(d) for d in opts.degrees.split(",") if d]
+        except ValueError:
+            parser.error(f"--degrees must be comma-separated ints, got {opts.degrees!r}")
+    else:
+        degrees = [4, 2] if opts.nodes == 8 else [opts.nodes]
+
+    m = opts.nodes
+    kwargs: dict = dict(
+        degrees=degrees, slots=opts.slots, queue_depth=opts.queue_depth
+    )
+    if opts.backend == "sim":
+        kwargs["cluster"] = Cluster(m)
+    with ReduceService(opts.backend, **kwargs) as svc:
+        specs, futures = {}, []
+        for k in range(opts.streams):
+            spec, idx, _ = _service_workload(m, opts.n, opts.seed + k)
+            svc.open_stream(f"stream-{k}", spec)
+            specs[f"stream-{k}"] = (spec, idx)
+        rng = np.random.default_rng(opts.seed + 1000)
+        for j in range(opts.reduces):
+            name = f"stream-{j % opts.streams}"
+            spec, idx = specs[name]
+            values = {r: rng.normal(size=idx[r].size) for r in range(m)}
+            futures.append((name, values, svc.submit(name, values)))
+        bad = 0
+        for name, values, fut in futures:
+            out = fut.result()
+            ref = dense_reduce(specs[name][0], values)
+            if not all(np.allclose(out[r], ref[r]) for r in range(m)):
+                bad += 1
+                print(f"  {name}: result DIVERGED from dense reference")
+        cache = dict(svc.cache.stats)
+        stats = dict(svc.stats)
+        per_stream = {s.name: s.completed for s in svc.streams.values()}
+    print(
+        f"service on {m} {opts.backend} node(s), degrees "
+        f"{'x'.join(map(str, degrees))}: {stats['completed']} reduce(s) "
+        f"across {opts.streams} stream(s)"
+    )
+    print("  per stream: "
+          + ", ".join(f"{k}={v}" for k, v in sorted(per_stream.items())))
+    print(f"  config cache: {cache['hits']} hit(s), {cache['misses']} miss(es), "
+          f"{cache['invalidations']} invalidation(s)")
+    print(f"  admission: {stats['submitted']} submitted, "
+          f"{stats['rejected']} rejected")
+    print(f"  exact: {'yes' if not bad else f'{bad} DIVERGED'}")
+    return 0 if not bad else 1
+
+
+def _drive_service(args: list[str]) -> int:
+    import argparse
+    import json
+    import time as _time
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro drive-service",
+        description="the service-throughput benchmark: a same-pattern "
+        "reduce stream through the cached + pipelined service against "
+        "the configure-every-time loop; on the sim backend the speedup "
+        "and cache hit-count gates are enforced",
+    )
+    parser.add_argument(
+        "--backend", default="sim", choices=["sim", "local", "tcp"],
+        help="sim runs the gated benchmark; local/tcp run a wall-clock smoke",
+    )
+    parser.add_argument("--nodes", type=int, default=64, help="cluster size")
+    parser.add_argument(
+        "--degrees", default=None,
+        help="comma-separated degree stack (default: 4,4,4 for 64 nodes)",
+    )
+    parser.add_argument(
+        "--reduces", type=int, default=100, help="same-pattern reduces (default: 100)"
+    )
+    parser.add_argument("--n", type=int, default=2000, help="feature count")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="sim gate: required speedup vs sequential (default: 2.0)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the benchmark record here (CI artifact)",
+    )
+    opts = parser.parse_args(args)
+    if opts.nodes < 2 or opts.reduces < 2:
+        parser.error("--nodes >= 2 and --reduces >= 2 required")
+    if opts.degrees:
+        try:
+            degrees = [int(d) for d in opts.degrees.split(",") if d]
+        except ValueError:
+            parser.error(f"--degrees must be comma-separated ints, got {opts.degrees!r}")
+    else:
+        degrees = [4, 4, 4] if opts.nodes == 64 else [opts.nodes]
+
+    if opts.backend == "sim":
+        from .service import run_service_benchmark
+
+        rec = run_service_benchmark(
+            m=opts.nodes, degrees=degrees, reduces=opts.reduces,
+            n=opts.n, seed=opts.seed,
+        )
+        print(
+            f"{rec['reduces']} same-pattern reduces on {rec['m']} sim nodes, "
+            f"degrees {'x'.join(map(str, rec['degrees']))}:"
+        )
+        print(f"  sequential (configure+reduce each time): "
+              f"{rec['sequential_sim_seconds']:.4f} sim-s")
+        print(f"  service (cached + pipelined):            "
+              f"{rec['service_sim_seconds']:.4f} sim-s "
+              f"({rec['reduces_per_sec']:.0f} reduces/sec)")
+        print(f"  speedup: {rec['speedup']:.2f}x   cache: {rec['cache_hits']} "
+              f"hit(s) / {rec['cache_misses']} miss(es)   "
+              f"exact: {'yes' if rec['exact'] else 'NO'}")
+        ok = (
+            rec["exact"]
+            and rec["cache_hits"] == rec["reduces"] - 1
+            and rec["cache_misses"] == 1
+            and rec["speedup"] >= opts.min_speedup
+        )
+        if not ok:
+            print(f"  GATE FAILED (need exact, hits == reduces-1, "
+                  f"speedup >= {opts.min_speedup})")
+    else:
+        from .allreduce import dense_reduce
+        from .service import ReduceService
+
+        spec, idx, rng = _service_workload(opts.nodes, opts.n, opts.seed)
+        rounds = [
+            {r: rng.normal(size=idx[r].size) for r in range(opts.nodes)}
+            for _ in range(opts.reduces)
+        ]
+        t0 = _time.monotonic()
+        with ReduceService(opts.backend, degrees=degrees) as svc:
+            stream = svc.open_stream("drive", spec)
+            results = svc.submit_pipelined(stream, rounds)
+            cache = dict(svc.cache.stats)
+        wall = _time.monotonic() - t0
+        refs = [dense_reduce(spec, v) for v in rounds]
+        ok = all(
+            all(np.allclose(results[k][r], refs[k][r]) for r in range(opts.nodes))
+            for k in range(opts.reduces)
+        )
+        rec = {
+            "m": opts.nodes, "degrees": degrees, "backend": opts.backend,
+            "reduces": opts.reduces, "seed": opts.seed, "exact": bool(ok),
+            "wall_seconds": wall,
+            "reduces_per_sec": opts.reduces / wall if wall > 0 else None,
+            "cache_hits": cache["hits"], "cache_misses": cache["misses"],
+        }
+        print(
+            f"{opts.reduces} same-pattern reduces on {opts.nodes} "
+            f"{opts.backend} node(s): {wall:.2f}s wall "
+            f"({rec['reduces_per_sec']:.1f} reduces/sec), "
+            f"exact: {'yes' if ok else 'NO'}"
+        )
+    if opts.json:
+        with open(opts.json, "w") as fh:
+            json.dump(rec, fh, indent=2)
+        print(f"  written: {opts.json}")
+    return 0 if ok else 1
+
+
 def main(argv: list[str]) -> int:
     if not argv or argv[0] in ("-h", "--help", "help"):
         print(_usage())
@@ -988,6 +1235,10 @@ def main(argv: list[str]) -> int:
         return _run_cluster(rest)
     if cmd == "drive-cluster":
         return _drive_cluster(rest)
+    if cmd == "serve":
+        return _serve(rest)
+    if cmd == "drive-service":
+        return _drive_service(rest)
     print(f"unknown command {cmd!r}\n")
     print(_usage())
     return 2

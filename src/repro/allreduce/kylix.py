@@ -170,6 +170,13 @@ class KylixAllreduce:
         self.duplicates_dropped = 0  # retransmit/injected copies deduped by seq
         self._loss_events: List[LossRecord] = []
         self._instance = 0
+        # Dead-partial key audit state for the combined path (degraded
+        # completion): per instance, each node's raw unique out keys and
+        # the out-key slice of every down part it sent.  The in-memory
+        # equivalent of the wire transports' retained sent-keys stores —
+        # see _dead_partial_keys.
+        self._audit_raw: Dict[tuple, np.ndarray] = {}
+        self._audit_sent: Dict[tuple, np.ndarray] = {}
 
     @property
     def _obs(self):
@@ -360,6 +367,31 @@ class KylixAllreduce:
         self.config_timing = PhaseTiming(start, self.cluster.now)
         return self.plans
 
+    def adopt_plans(self, spec: ReduceSpec, plans: Dict[int, NodePlan]) -> None:
+        """Install a memoised configuration without re-running the pass.
+
+        The service layer's cache hit path: ``plans`` must come from a
+        :meth:`configure` (or combined) run of a spec with an identical
+        fingerprint — same degree stack, hasher, operator, dtype, and
+        per-rank index sets (:func:`repro.service.spec_fingerprint`
+        guarantees this by keying on all of them).  Costs zero simulated
+        time: amortization is the point.
+        """
+        expected = set(range(self.size))
+        if set(spec.ranks) != expected:
+            raise ValueError(
+                f"spec must cover every logical rank (got {len(spec.ranks)} of "
+                f"{self.size})"
+            )
+        if set(plans) != set(range(self.cluster.num_nodes)):
+            raise ValueError(
+                f"plans must cover every physical rank (got {sorted(plans)})"
+            )
+        self.spec = spec
+        self.plans = plans
+        now = self.cluster.now
+        self.config_timing = PhaseTiming(now, now)
+
     def _config_proto(self, node: SimNode, spec: ReduceSpec, inst: int):
         plan, _, _ = yield from self._down_pass(node, spec, inst, values=None)
         return plan
@@ -405,6 +437,11 @@ class KylixAllreduce:
             v = self._aligned_out_values(rank, plan, spec, values)
             if degrade:
                 v_mask = np.ones(v.shape[0], dtype=bool)
+                # Audit state 0: this node's partial starts as exactly its
+                # own unique out keys.  Recorded before any sends, so if
+                # this node later dies mid-protocol its survivors can
+                # reconstruct what the dead partial contained.
+                self._audit_raw[(inst, rank)] = out_keys
 
         rng = KeyRange.full(self.hasher.key_space)
         topo = self.topology
@@ -429,6 +466,9 @@ class KylixAllreduce:
                     )
                     if degrade:
                         payload = payload + (v_mask[out_slices[q]],)
+                        self._audit_sent[(inst, layer, rank, member)] = out_keys[
+                            out_slices[q]
+                        ]
                 else:
                     payload = (out_keys[out_slices[q]], in_keys[in_slices[q]])
                 self._send_to(node, member, payload, tag=tag, phase=phase, layer=layer)
@@ -439,11 +479,27 @@ class KylixAllreduce:
                 nbytes_hint=out_keys.nbytes + in_keys.nbytes,
             )
             # A None hole (unrecoverable member under degraded completion)
-            # contributes empty index parts: its keys simply never join
-            # this node's union, so nothing routes through the hole.
-            out_parts = [
-                m.payload[0] if m is not None else out_keys[:0] for m in msgs
-            ]
+            # took a partial with it — at layer 1 the member's own raw
+            # contribution, at deeper layers an *accumulated* partial
+            # carrying live members' earlier contributions — and some of
+            # those keys may not be carried by anyone else in this
+            # subrange: if they simply vanish, their homes aggregate the
+            # surviving contributions under a still-valid mask and the
+            # loss is never reported.  So the observer adopts the slice of
+            # the reconstructed dead partial it was owed, as tombstones:
+            # the keys join the union with identity values and a False
+            # mask, and the invalidity rides the normal routing to each
+            # key's bottom home (and from there to every requester).
+            sub = rng.subrange(pos, d)
+            out_parts = []
+            for q, m in enumerate(msgs):
+                if m is not None:
+                    out_parts.append(m.payload[0])
+                elif combined and degrade:
+                    dead = self._dead_partial_keys(inst, group[q], layer - 1)
+                    out_parts.append(dead[sub.contains(dead)])
+                else:
+                    out_parts.append(out_keys[:0])
             in_parts = [m.payload[1] if m is not None else in_keys[:0] for m in msgs]
             recv_bytes = sum(m.nbytes for m in msgs if m is not None)
             # Tree-merge the received index sets; memoise position maps.
@@ -464,6 +520,19 @@ class KylixAllreduce:
                 )
                 for q, msg in enumerate(msgs):
                     if msg is None:
+                        # Dead-partial key audit (the simulator port of
+                        # the wire protocol's accounting, see
+                        # repro.net.protocol): the adopted tombstone part
+                        # for this hole carries incomplete aggregates, so
+                        # every union position it maps to loses its valid
+                        # mask.  This covers both keys the hole shares
+                        # with live parts (partial sums missing the dead
+                        # contributions) and keys only the hole carried.
+                        # (A layer-1 hole's part is the dead member's raw
+                        # out keys — its own contribution counts as lost,
+                        # matching the split-protocol accounting.)
+                        if degrade:
+                            partial_mask[out_maps[q]] = False
                         continue
                     m = out_maps[q]
                     partial[m] = ufunc(partial[m], msg.payload[2])
@@ -656,6 +725,44 @@ class KylixAllreduce:
     # ------------------------------------------------------------------
     # Degraded-completion accounting
     # ------------------------------------------------------------------
+    def _dead_partial_keys(self, inst: int, hole: int, upto: int) -> np.ndarray:
+        """Exact key set of ``hole``'s lost partial after ``upto`` layers.
+
+        The recurrence of the wire protocol's dead-partial key audit
+        (:func:`repro.net.protocol._dead_partial_keys`), read directly
+        from the in-memory audit stores instead of control frames::
+
+            state(h, 0) = h's raw unique out keys
+            state(h, s) = U_p sent(p -> h, s)  U  (state(h, s-1) ^ range(h, s))
+
+        A piece a peer never reached recording (it is stuck or dead
+        itself) degrades the reconstruction to a subset — under
+        multi-failure schedules some incomplete aggregates may keep a
+        valid mask, never the reverse.
+        """
+        raw = self._audit_raw.get((inst, hole))
+        keys = (
+            np.asarray(raw, dtype=np.uint64)
+            if raw is not None
+            else np.empty(0, dtype=np.uint64)
+        )
+        topo = self.topology
+        for s in range(1, upto + 1):
+            kept = (
+                keys[topo.key_range(hole, s).contains(keys)]
+                if keys.size
+                else keys
+            )
+            pieces = [kept]
+            for p in topo.group(hole, s):
+                if p == hole:
+                    continue
+                piece = self._audit_sent.get((inst, s, p, hole))
+                if piece is not None:
+                    pieces.append(np.asarray(piece, dtype=np.uint64))
+            keys = np.unique(np.concatenate(pieces))
+        return keys
+
     def _collation_rank(self, logical_rank: int) -> int:
         """Physical rank whose result represents ``logical_rank``."""
         return logical_rank
@@ -926,6 +1033,8 @@ class KylixAllreduce:
         inst = self._instance
         start = self.cluster.now
         self._loss_events = []
+        self._audit_raw.clear()
+        self._audit_sent.clear()
         with self._obs.span("allreduce_combined", phase=PHASE_COMBINED_DOWN):
             raw = self.cluster.run(self._combined_proto, spec, out_values, inst)
         self.plans = {rank: pr[0] for rank, pr in raw.items()}

@@ -23,7 +23,7 @@ from .pagerank import (
     reference_pagerank,
     spmv_cost_bytes,
 )
-from .sgd import DistributedSGD, SGDResult, logistic_loss
+from .sgd import DistributedSGD, ServiceSGD, SGDResult, logistic_loss
 from .spectral import DistributedPowerIteration, PowerIterationResult
 
 __all__ = [
@@ -48,6 +48,7 @@ __all__ = [
     "fm_sketch",
     "fm_estimate",
     "DistributedSGD",
+    "ServiceSGD",
     "SGDResult",
     "logistic_loss",
     "DistributedPowerIteration",

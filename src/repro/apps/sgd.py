@@ -28,7 +28,7 @@ from ..allreduce import KylixAllreduce, ReduceSpec
 from ..cluster import Cluster
 from ..data import Minibatch
 
-__all__ = ["DistributedSGD", "SGDResult", "logistic_loss"]
+__all__ = ["DistributedSGD", "ServiceSGD", "SGDResult", "logistic_loss"]
 
 
 def _sigmoid(z: np.ndarray) -> np.ndarray:
@@ -147,6 +147,126 @@ class DistributedSGD:
             losses=losses,
             comm_time=self.cluster.now - t0,
             steps=n_steps,
+        )
+
+    def assemble_weights(self) -> np.ndarray:
+        out = np.zeros(self.n_features)
+        for r, h in self._home.items():
+            out[h] = self._weights[r]
+        return out
+
+
+class ServiceSGD:
+    """Parameter-server SGD through :class:`~repro.service.ReduceService`.
+
+    The serving-layer counterpart of :class:`DistributedSGD`: each node's
+    minibatches touch a *fixed* feature pattern (see
+    :class:`~repro.data.FixedPatternStream`), so the gradient-push spec
+    is identical on every step — the service's config cache serves every
+    push after the first miss, and an epoch's pushes run as one
+    *pipelined* train of reduces (reduce ``k+1``'s scatter overlapping
+    reduce ``k``'s allgather).
+
+    Weight fetches happen driver-side against the assembled model (the
+    parameter-server view: the driver owns the homes' shards between
+    epochs), which makes the epoch a stale-synchronous update — every
+    batch's gradient is taken at epoch-start weights, then the homes
+    apply the summed per-batch updates in submission order.
+    """
+
+    def __init__(
+        self,
+        service,
+        n_features: int,
+        *,
+        learning_rate: float = 0.1,
+        stream_name: str = "sgd.push",
+        depth: int = 2,
+    ):
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.service = service
+        self.n_features = n_features
+        self.lr = learning_rate
+        self.stream_name = stream_name
+        self.depth = depth
+        m = service.cluster.num_nodes
+        self.m = m
+        self._home = {
+            r: np.arange(r, n_features, m, dtype=np.int64) for r in range(m)
+        }
+        self._weights = {r: np.zeros(h.size) for r, h in self._home.items()}
+        self._stream = None
+
+    def _open(self, feats: Dict[int, np.ndarray]):
+        push_spec = ReduceSpec(
+            in_indices=dict(self._home), out_indices=feats, op="sum"
+        )
+        if self._stream is None:
+            self._stream = self.service.open_stream(self.stream_name, push_spec)
+            # Untouched home features legitimately receive the identity.
+            self._stream.net.strict_coverage = False
+        return self._stream
+
+    def run_epoch(self, streams: Dict[int, List[Minibatch]]) -> List[float]:
+        """One epoch: gradients at epoch-start weights, pipelined pushes.
+
+        ``streams[r]`` must all share one fixed feature pattern and one
+        length.  Returns the per-batch mean losses (at epoch-start
+        weights).
+        """
+        lengths = {len(v) for v in streams.values()}
+        if len(lengths) != 1:
+            raise ValueError("every node needs the same number of batches")
+        n_steps = lengths.pop()
+        feats = {r: streams[r][0].features for r in streams}
+        for r, batches in streams.items():
+            for b in batches:
+                if not np.array_equal(b.features, feats[r]):
+                    raise ValueError(
+                        "ServiceSGD needs fixed per-node feature patterns "
+                        "(use FixedPatternStream)"
+                    )
+        stream = self._open(feats)
+
+        w = self.assemble_weights()
+        losses = []
+        grad_rounds = []
+        for k in range(n_steps):
+            grads = {}
+            batch_losses = []
+            for r in range(self.m):
+                b = streams[r][k]
+                margins = b.labels * (b.matrix @ w[b.features])
+                batch_losses.append(logistic_loss(margins))
+                coeff = -b.labels * _sigmoid(-margins) / b.batch_size
+                grads[r] = b.matrix.T @ coeff
+            losses.append(float(np.mean(batch_losses)))
+            grad_rounds.append(grads)
+
+        summed = self.service.submit_pipelined(
+            stream, grad_rounds, depth=self.depth
+        )
+        for per_home in summed:
+            for r in range(self.m):
+                self._weights[r] -= self.lr * per_home[r]
+        return losses
+
+    def run(
+        self, streams: Dict[int, List[Minibatch]], *, epochs: int = 1
+    ) -> SGDResult:
+        """Train ``epochs`` passes over the fixed-pattern batch lists."""
+        t0 = self.service.cluster.now
+        losses: List[float] = []
+        for _ in range(epochs):
+            losses.extend(self.run_epoch(streams))
+        return SGDResult(
+            weights=self.assemble_weights(),
+            losses=losses,
+            comm_time=self.service.cluster.now - t0,
+            steps=len(losses),
         )
 
     def assemble_weights(self) -> np.ndarray:

@@ -10,7 +10,12 @@ from .datasets import Dataset, edges_for_density, make_powerlaw_dataset, twitter
 from .graphs import EdgeGraph, grid_graph, powerlaw_graph, ring_graph
 from .greedy import greedy_edge_partition, replication_factor
 from .io import load_edgelist, save_edgelist
-from .minibatch import Minibatch, MinibatchStream, make_ground_truth
+from .minibatch import (
+    FixedPatternStream,
+    Minibatch,
+    MinibatchStream,
+    make_ground_truth,
+)
 from .partition import (
     GraphPartition,
     partition_density,
@@ -39,6 +44,7 @@ __all__ = [
     "spmv_spec",
     "Minibatch",
     "MinibatchStream",
+    "FixedPatternStream",
     "make_ground_truth",
     "harmonic_number",
     "zipf_sample",

@@ -18,7 +18,12 @@ from scipy.sparse import csr_matrix
 
 from .powerlaw import zipf_sample
 
-__all__ = ["Minibatch", "MinibatchStream", "make_ground_truth"]
+__all__ = [
+    "Minibatch",
+    "MinibatchStream",
+    "FixedPatternStream",
+    "make_ground_truth",
+]
 
 
 @dataclass(frozen=True)
@@ -90,3 +95,71 @@ class MinibatchStream:
         flip = rng.random(b) < self.noise
         labels[flip] *= -1.0
         return Minibatch(features=feats.astype(np.int64), matrix=mat, labels=labels)
+
+
+class FixedPatternStream(MinibatchStream):
+    """A minibatch stream whose *feature pattern is drawn once per node*.
+
+    Every batch a node draws touches exactly the same feature set (values
+    and labels still vary), so the allreduce spec built from the batches
+    is identical across steps — the workload shape the service's keyed
+    config cache and wire-plan replay are built for.  ``pattern_size``
+    features per node are drawn from the same bounded Zipf(α) the rolling
+    stream uses; examples then sample uniformly within the node's
+    pattern.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        *,
+        pattern_size: int = 200,
+        alpha: float = 0.9,
+        batch_size: int = 64,
+        nnz_per_example: int = 20,
+        noise: float = 0.05,
+        seed: int = 0,
+    ):
+        super().__init__(
+            n_features,
+            alpha=alpha,
+            batch_size=batch_size,
+            nnz_per_example=nnz_per_example,
+            noise=noise,
+            seed=seed,
+        )
+        if pattern_size <= 0:
+            raise ValueError("pattern_size must be positive")
+        self.pattern_size = pattern_size
+        self._patterns: dict = {}
+
+    def node_pattern(self, rank: int) -> np.ndarray:
+        """The node's fixed sorted feature set (drawn on first use)."""
+        pat = self._patterns.get(rank)
+        if pat is None:
+            rng = np.random.default_rng([rank + 1, 192837465])
+            draw = zipf_sample(
+                self.n_features, 4 * self.pattern_size, self.alpha, rng
+            )
+            pat = np.unique(draw)[: self.pattern_size].astype(np.int64)
+            self._patterns[rank] = pat
+        return pat
+
+    def node_stream(self, rank: int, n_batches: int) -> List[Minibatch]:
+        pat = self.node_pattern(rank)
+        rng = np.random.default_rng([rank + 1, 987654321])
+        return [self._draw_fixed(pat, rng) for _ in range(n_batches)]
+
+    def _draw_fixed(self, pat: np.ndarray, rng: np.random.Generator) -> Minibatch:
+        b, k = self.batch_size, self.nnz_per_example
+        cols = rng.integers(0, pat.size, size=b * k)
+        vals = rng.normal(size=b * k)
+        rows = np.repeat(np.arange(b), k)
+        # Full-width compact matrix over the fixed pattern: batches that
+        # happen to miss a pattern feature still carry the same spec.
+        mat = csr_matrix((vals, (rows, cols)), shape=(b, pat.size))
+        margins = mat @ self.true_weights[pat]
+        labels = np.where(margins >= 0, 1.0, -1.0)
+        flip = rng.random(b) < self.noise
+        labels[flip] *= -1.0
+        return Minibatch(features=pat, matrix=mat, labels=labels)

@@ -121,6 +121,16 @@ class LocalTransport(BaseTransport):
                 dead.append(member)
         return dead
 
+    def prune_round(self, seq: int) -> None:
+        """Per-round cleanup + reap finished per-post sender threads.
+
+        The one-thread-per-post send model accumulates dead ``Thread``
+        objects across a multi-round session; dropping them here keeps a
+        long-lived service run at a bounded thread list.
+        """
+        self.senders = [t for t in self.senders if t.is_alive()]
+        super().prune_round(seq)
+
 
 class LocalKylix(ForkedKylixBase):
     """Kylix over real OS processes (one per logical node).

@@ -37,7 +37,8 @@ within the certified bound.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,7 +50,46 @@ from ..obs import NULL_OBSERVER
 from ..sparse import KeyRange, MultiplicativeHasher, split_sorted, union_with_maps
 from .transport import BaseTransport
 
-__all__ = ["run_combined"]
+__all__ = ["run_combined", "run_reduce", "WirePlan", "WireLayer"]
+
+
+@dataclass
+class WireLayer:
+    """One layer of a wire-side routing plan (see :class:`WirePlan`)."""
+
+    layer: int
+    group: List[int]  # member ids, position order
+    pos: int  # our position in the group
+    out_slices: List[slice]  # split of the previous out union
+    out_maps: List[np.ndarray]  # per position: part -> out union positions
+    out_union_size: int
+    in_slices: List[slice]  # split of the previous in union
+    in_maps: List[np.ndarray]  # per position: part -> in union positions
+    in_prev_size: int  # previous in union length (up-pass target)
+
+
+@dataclass
+class WirePlan:
+    """Everything :func:`run_reduce` needs to replay a reduction.
+
+    Captured by :func:`run_combined` (``plan_sink=``) during a combined
+    round: the memoised position maps the simulator keeps in
+    :class:`~repro.allreduce.NodePlan`, in wire-side form.  A cached plan
+    lets later same-pattern rounds carry *values only* — the paper's
+    configuration amortization, on real sockets and pipes.
+    """
+
+    rank: int
+    n_out: int  # unique out keys at layer 0
+    out_inv: np.ndarray  # caller out positions -> unique positions
+    in_inv: np.ndarray  # caller in positions -> unique positions
+    value_shape: tuple
+    dtype_str: str
+    op: str
+    bottom_clipped: np.ndarray  # in-key positions within the bottom union
+    bottom_hit: np.ndarray  # pre-degrade coverage mask for bottom_clipped
+    bottom_in_size: int  # bottom in union length
+    layers: List[WireLayer] = field(default_factory=list)
 
 
 def _noop_crash(kind: str, layer: int) -> None:
@@ -119,6 +159,7 @@ def run_combined(
     degrade: bool = False,
     seq: int = 0,
     maybe_crash: Callable[[str, int], None] = _noop_crash,
+    plan_sink: Optional[list] = None,
 ) -> Tuple[np.ndarray, Optional[np.ndarray], List[LossRecord]]:
     """One node's combined down/up protocol run over ``net``.
 
@@ -133,6 +174,12 @@ def run_combined(
     (the cluster driver runs many rounds over one socket mesh) and is
     the per-link sequence the fault oracle sees, so round ``r`` draws
     the same fault schedule on every backend.
+
+    ``plan_sink``, when a list, receives one :class:`WirePlan` capturing
+    the position maps this round built, so later same-pattern rounds can
+    replay values-only via :func:`run_reduce`.  Capture is only
+    meaningful on clean runs: a degraded round's unions already miss the
+    holes' keys, so caching it would bake the failure into every round.
     """
     hasher = MultiplicativeHasher(multiplier)
     dtype = np.dtype(dtype_str)
@@ -143,6 +190,7 @@ def run_combined(
 
     out_keys, out_inv = np.unique(hasher.hash(out_idx), return_inverse=True)
     in_keys, in_inv = np.unique(hasher.hash(in_idx), return_inverse=True)
+    n_out0 = out_keys.size
     if degrade:
         net.audit_prune(seq)
     v = np.full((out_keys.size, *value_shape), identity, dtype=dtype)
@@ -151,6 +199,7 @@ def run_combined(
 
     rng = KeyRange.full(hasher.key_space)
     layers = []  # (layer, group, pos, in_slices, in_maps, in_prev_size)
+    plan_layers: List[WireLayer] = []
     for layer in range(1, topo.num_layers + 1):
         d = topo.degrees[layer - 1]
         group = topo.group(rank, layer)
@@ -257,6 +306,20 @@ def run_combined(
         obs.end(scatter)
 
         layers.append((layer, group, pos, pos_of, in_slices, in_maps, in_keys.size))
+        if plan_sink is not None:
+            plan_layers.append(
+                WireLayer(
+                    layer=layer,
+                    group=list(group),
+                    pos=pos,
+                    out_slices=list(out_slices),
+                    out_maps=list(out_maps),
+                    out_union_size=out_union.size,
+                    in_slices=list(in_slices),
+                    in_maps=list(in_maps),
+                    in_prev_size=in_keys.size,
+                )
+            )
         out_keys, in_keys, v, v_mask = out_union, in_union, partial, partial_mask
         rng = rng.subrange(pos, d)
 
@@ -273,6 +336,24 @@ def run_combined(
     if strict and not degrade and not bool(hit.all()):
         raise CoverageError(
             f"rank {rank}: {int((~hit).sum())} requested indices uncovered"
+        )
+    if plan_sink is not None:
+        # Pre-degrade hit: the cached plan describes the topology's
+        # coverage, not this round's fault accidents.
+        plan_sink.append(
+            WirePlan(
+                rank=rank,
+                n_out=n_out0,
+                out_inv=out_inv.astype(np.intp),
+                in_inv=in_inv.astype(np.intp),
+                value_shape=tuple(value_shape),
+                dtype_str=dtype_str,
+                op=op,
+                bottom_clipped=clipped,
+                bottom_hit=hit.copy(),
+                bottom_in_size=in_keys.size,
+                layers=plan_layers,
+            )
         )
     if degrade and v.size:
         hit = hit & v_mask[clipped]
@@ -334,3 +415,95 @@ def run_combined(
         final_mask = r_mask[in_inv]
         lost_raw = np.unique(np.asarray(in_idx, dtype=np.int64)[~final_mask])
     return result, lost_raw, losses
+
+
+def run_reduce(
+    rank: int,
+    net: BaseTransport,
+    plan: WirePlan,
+    values: np.ndarray,
+    *,
+    retry: RetryPolicy,
+    obs=NULL_OBSERVER,
+    seq: int = 0,
+    maybe_crash: Callable[[str, int], None] = _noop_crash,
+) -> np.ndarray:
+    """One values-only reduction over a cached :class:`WirePlan`.
+
+    The wire-side analogue of the simulator's ``configure() once,
+    reduce() many`` amortization: indices never leave the node again —
+    every message carries only the sender's group position and a value
+    slice, merged through the plan's memoised maps.  ``seq`` must be
+    unique per round on the shared transport (the combined round that
+    built the plan used seq 0; cached rounds use their round number).
+
+    Clean runs only: degraded completion needs the combined protocol's
+    per-round mask propagation and key audit.
+    """
+    dtype = np.dtype(plan.dtype_str)
+    ufunc = reduction_ufunc(plan.op)
+    identity = reduction_identity(plan.op, dtype)
+    vshape = plan.value_shape
+    # Round-scoped transport state (send cache, inbox, dedupe) from
+    # rounds before the previous one is dead weight: drop it so a
+    # thousand-round service session runs in bounded memory.
+    net.prune_round(seq)
+
+    v = np.full((plan.n_out, *vshape), identity, dtype=dtype)
+    ufunc.at(v, plan.out_inv, np.asarray(values, dtype=dtype))
+
+    for lp in plan.layers:
+        maybe_crash("rd", lp.layer)
+        span = obs.begin(
+            f"reduce_down L{lp.layer}", node=rank, phase="reduce_down", layer=lp.layer
+        )
+        own = None
+        for q, member in enumerate(lp.group):
+            part = (lp.pos, np.ascontiguousarray(v[lp.out_slices[q]]))
+            obs.message_sent(
+                rank, member, payload_nbytes(part),
+                phase="reduce_down", layer=lp.layer,
+            )
+            if member == rank:
+                own = part
+            else:
+                net.post(member, "rd", lp.layer, part, seq)
+        partial = np.full((lp.out_union_size, *vshape), identity, dtype=dtype)
+        m = lp.out_maps[own[0]]
+        partial[m] = ufunc(partial[m], own[1])
+        got = net.collect(lp.group, "rd", lp.layer, seq)
+        for part in got.values():
+            m = lp.out_maps[part[0]]
+            partial[m] = ufunc(partial[m], part[1])
+        net.join_senders()
+        obs.end(span)
+        v = partial
+
+    r = np.full((plan.bottom_in_size, *vshape), identity, dtype=dtype)
+    if v.size:
+        mask = plan.bottom_hit.reshape(plan.bottom_hit.shape + (1,) * (r.ndim - 1))
+        np.copyto(r, v[plan.bottom_clipped], where=mask)
+
+    for lp in reversed(plan.layers):
+        maybe_crash("up", lp.layer)
+        span = obs.begin(
+            f"gather_up L{lp.layer}", node=rank, phase="gather_up", layer=lp.layer
+        )
+        for q, member in enumerate(lp.group):
+            part = (lp.pos, np.ascontiguousarray(r[lp.in_maps[q]]))
+            obs.message_sent(
+                rank, member, payload_nbytes(part),
+                phase="gather_up", layer=lp.layer,
+            )
+            if member != rank:
+                net.post(member, "up", lp.layer, part, seq)
+        out = np.zeros((lp.in_prev_size, *vshape), dtype=dtype)
+        out[lp.in_slices[lp.pos]] = r[lp.in_maps[lp.pos]]
+        got = net.collect(lp.group, "up", lp.layer, seq)
+        for part in got.values():
+            out[lp.in_slices[part[0]]] = part[1]
+        net.join_senders()
+        obs.end(span)
+        r = out
+
+    return r[plan.in_inv]

@@ -408,6 +408,25 @@ class TcpTransport(BaseTransport):
                 dead.append(peer)
         return dead
 
+    def prune_round(self, seq: int) -> None:
+        """Per-round cleanup + drain dead links' queued frames.
+
+        A failed link's sender thread has exited, so frames still queued
+        to it (sends racing the failure, heartbeat NACK replies) would
+        sit in its unbounded send queue for the life of the session.
+        Also reaps finished post/resend threads, like the pipe transport.
+        """
+        for link in self._links.values():
+            if not link.failed:
+                continue
+            while True:
+                try:
+                    link.q.get_nowait()
+                except queue.Empty:
+                    break
+        self.senders = [t for t in self.senders if t.is_alive()]
+        super().prune_round(seq)
+
     # -- teardown ----------------------------------------------------------
     def close(self) -> None:
         """Stop threads and close every socket.  Idempotent; afterwards

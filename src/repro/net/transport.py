@@ -46,7 +46,7 @@ POLL_INTERVAL = 0.005
 #: Wire kind -> canonical observer phase for message events.  The real
 #: backends run the combined protocol, so the downward exchange reports
 #: as ``combined_down`` (matching the simulator's combined variant).
-PHASE_OF = {"down": "combined_down", "up": "gather_up"}
+PHASE_OF = {"down": "combined_down", "rd": "reduce_down", "up": "gather_up"}
 
 #: One logical message slot on a link.
 _Key = Tuple[int, str, int, int]  # (member, kind, layer, seq)
@@ -413,6 +413,21 @@ class BaseTransport:
         for store in (self.audit_sent, self.audit_recv):
             for k in [k for k in store if k[0] < seq - 1]:
                 del store[k]
+
+    def prune_round(self, seq: int) -> None:
+        """Drop per-round message state older than the previous round.
+
+        The send cache, inbox, arrival stamps, wait notes, and dedupe set
+        are keyed ``(member, kind, layer, seq)`` and only ever grow; a
+        long-lived transport running many rounds (the cluster driver, the
+        reduce service) leaks without this.  One round of history is
+        kept — a slow peer may still NACK the previous round's sends.
+        """
+        for store in (self.sent, self.inbox, self.arrived, self.waiting):
+            for k in [k for k in store if k[3] < seq - 1]:
+                del store[k]
+        self.seen = {k for k in self.seen if k[3] >= seq - 1}
+        self.audit_prune(seq)
 
     def linger(self, done_evt, budget: float) -> None:
         """After finishing: keep servicing NACKs until everyone is done."""

@@ -28,9 +28,11 @@ LabelKey = Tuple[Tuple[str, Any], ...]
 #: for the docs table in ``docs/observability.md``; the test suite checks
 #: that every metric a traced run produces is listed here, so new
 #: instrumentation must register its names.  The ``config.cache.*``
-#: counters are reserved for the ROADMAP's config-phase cache (keyed
-#: configuration reuse across reduces with an unchanged sparsity
-#: pattern) so its instrumentation lands with stable, pre-agreed names.
+#: counters — reserved since the catalogue first shipped — are now
+#: emitted by :class:`repro.service.ConfigCache` (keyed configuration
+#: reuse across reduces with an unchanged sparsity pattern); the
+#: ``service.*`` counters come from the :class:`repro.service.ReduceService`
+#: front-end multiplexing named streams over one fabric.
 CATALOGUE: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
     "net.bytes": ("counter", ("phase", "layer"), "network bytes, mirroring TrafficStats cell for cell"),
     "net.messages": ("counter", ("phase", "layer"), "network messages per (phase, layer)"),
@@ -40,9 +42,13 @@ CATALOGUE: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
     "net.queue_wait": ("histogram", ("node", "phase", "layer"), "delivery-to-consumption time per message, per receiving node"),
     "span.self_time": ("histogram", ("node", "phase", "layer"), "span duration minus nested children: per-node compute attribution"),
     "config.merge_length": ("histogram", ("phase", "layer"), "union sizes out of union_with_maps during configuration"),
-    "config.cache.hits": ("counter", ("phase",), "reserved: config-cache hits (ROADMAP config-phase caching)"),
-    "config.cache.misses": ("counter", ("phase",), "reserved: config-cache misses (ROADMAP config-phase caching)"),
-    "config.cache.invalidations": ("counter", ("phase",), "reserved: config-cache invalidations on sparsity drift"),
+    "config.cache.hits": ("counter", ("phase",), "config-cache lookups served from a memoised entry (repro.service.ConfigCache)"),
+    "config.cache.misses": ("counter", ("phase",), "config-cache lookups that had to run configuration"),
+    "config.cache.invalidations": ("counter", ("phase",), "config-cache invalidations on sparsity-pattern drift"),
+    "config.cache.evictions": ("counter", ("phase",), "config-cache entries LRU-evicted at capacity"),
+    "service.submitted": ("counter", ("stream",), "reduces admitted per named service stream"),
+    "service.completed": ("counter", ("stream",), "reduces completed per named service stream"),
+    "service.rejected": ("counter", ("stream",), "submissions rejected by bounded-queue admission control"),
     "faults.injected": ("counter", ("kind",), "fault-oracle decisions applied (dropped/delayed/duplicated)"),
     "faults.resent": ("counter", ("phase", "layer"), "NACK-serviced retransmissions"),
     "faults.duplicates_dropped": ("counter", ("phase", "layer"), "receiver-side dedupe hits"),

@@ -36,6 +36,7 @@ __all__ = [
     "DEFAULT_TOLERANCES",
     "PerfError",
     "measure",
+    "measure_service",
     "compare",
     "render_delta_table",
     "load_baseline",
@@ -63,6 +64,18 @@ DEFAULT_TOLERANCES: Dict[str, Optional[float]] = {
     "total_messages": 0.0,
     "layer_bytes": 0.0,
     "predicted_bytes": 0.0,
+    # The service-throughput row (``measure_service``).  Simulated-clock
+    # durations gate like sim_seconds; the cache-miss count is exactly
+    # reproducible so it gets zero slack.  Higher-is-better derived
+    # numbers (speedup, reduces/sec) stay informational — the gate lives
+    # on their lower-is-better reciprocals.
+    "service_sim_seconds": 0.02,
+    "sim_seconds_per_reduce": 0.02,
+    "cache_misses": 0.0,
+    "sequential_sim_seconds": None,
+    "reduces_per_sec": None,
+    "speedup": None,
+    "cache_hits": None,
 }
 
 #: Metrics whose values are wall-clock-derived on the real backend and
@@ -77,6 +90,44 @@ class PerfError(ValueError):
 # ---------------------------------------------------------------------------
 # Measurement
 # ---------------------------------------------------------------------------
+def measure_service(*, seed: int = 0) -> Dict[str, Any]:
+    """The service-throughput perf row: the acceptance-scale 64-node
+    stream of 100 same-pattern reduces through :class:`ReduceService`
+    against the configure-every-time loop (see
+    :func:`repro.service.run_service_benchmark`).
+
+    Simulated durations and the cache-miss count gate against the
+    baseline; speedup and reduces/sec ride along informationally.  No
+    traffic certificate applies (``certified`` stays ``None``) — the
+    cached rounds intentionally skip the config traversal the
+    certificates model.
+    """
+    from ..service import run_service_benchmark
+
+    t0 = time.monotonic()
+    rec = run_service_benchmark(seed=seed)
+    wall = time.monotonic() - t0
+    metrics: Dict[str, Any] = {
+        "wall_seconds": round(wall, 6),
+        "service_sim_seconds": rec["service_sim_seconds"],
+        "sim_seconds_per_reduce": rec["sim_seconds_per_reduce"],
+        "sequential_sim_seconds": rec["sequential_sim_seconds"],
+        "reduces_per_sec": rec["reduces_per_sec"],
+        "speedup": rec["speedup"],
+        "cache_hits": rec["cache_hits"],
+        "cache_misses": rec["cache_misses"],
+    }
+    return {
+        "key": "service@sim",
+        "experiment": "service",
+        "backend": "sim",
+        "seed": seed,
+        "exact": rec["exact"],
+        "certified": None,
+        "metrics": metrics,
+    }
+
+
 def measure(
     experiment: str, *, backend: str = "sim", seed: int = 0
 ) -> Dict[str, Any]:
@@ -85,8 +136,13 @@ def measure(
     Returns ``{"key": "<experiment>@<backend>", "seed": ..., "metrics":
     {...}}`` where metrics holds every series named in
     :data:`DEFAULT_TOLERANCES` (``layer_bytes`` as a ``{"L<n>": bytes}``
-    mapping, the per-layer goblet).
+    mapping, the per-layer goblet).  The pseudo-experiment ``"service"``
+    dispatches to :func:`measure_service` (sim backend only).
     """
+    if experiment == "service":
+        if backend != "sim":
+            raise ValueError("the service perf row runs on the sim backend only")
+        return measure_service(seed=seed)
     from .runner import run_traced
 
     t0 = time.monotonic()

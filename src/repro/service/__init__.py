@@ -1,0 +1,36 @@
+"""Allreduce as a service: named streams over one Kylix fabric.
+
+The paper separates *configuration* (building position maps for a
+sparsity pattern) from *reduction* (streaming values through them); this
+package builds the serving layer that exploits the split at scale — a
+keyed config cache so any stream repeating a pattern skips configuration
+(:mod:`~repro.service.cache`), a multiplexing front-end with bounded-
+queue admission control (:mod:`~repro.service.service`), and minibatch
+pipelining that overlaps consecutive reduces' scatter and allgather
+halves (:mod:`~repro.service.pipeline`).  ``docs/service.md`` walks
+through the stream lifecycle.
+"""
+
+from .bench import run_service_benchmark
+from .cache import CacheEntry, ConfigCache, spec_fingerprint
+from .pipeline import pipelined_reduces
+from .service import (
+    ReduceFuture,
+    ReduceService,
+    ReduceStream,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+
+__all__ = [
+    "ReduceService",
+    "ReduceStream",
+    "ReduceFuture",
+    "ServiceOverloaded",
+    "ServiceClosed",
+    "ConfigCache",
+    "CacheEntry",
+    "spec_fingerprint",
+    "pipelined_reduces",
+    "run_service_benchmark",
+]

@@ -1,0 +1,469 @@
+"""Allreduce as a service: named reduce streams multiplexed over one fabric.
+
+:class:`ReduceService` is the front-end the ROADMAP's "millions of
+users" scenario calls for: many *named* streams, each bound to a sparsity
+pattern (:class:`~repro.allreduce.ReduceSpec`), submit reductions
+against a shared backend and get futures back.  Three mechanisms carry
+the load shape:
+
+* **Keyed config cache** (:mod:`repro.service.cache`) — every submit
+  consults the cache under the stream's spec fingerprint; the first
+  reduce of a pattern pays :meth:`configure`, every later one (from any
+  stream with the same pattern) adopts the memoised maps.  Pattern drift
+  re-fingerprints the stream, records an invalidation, and can never be
+  served a stale entry.
+* **Concurrent streams** — on the simulator backend, queued submissions
+  from many streams execute inside *one* cluster run as concurrent
+  protocol generators (distinct instance tags keep them from
+  cross-talking); on the forked backends (``local`` / ``tcp``) a bounded
+  worker pool drives one backend reduce per job.  Results are
+  bit-identical to sequential execution because merges are position-map
+  driven, never arrival-order driven.
+* **Admission control** — the submission queue is bounded
+  (``queue_depth``); when streams outrun the service's slots,
+  :meth:`submit` raises :class:`ServiceOverloaded` instead of queueing
+  without bound.  That is the backpressure contract: the caller sheds or
+  retries, the service never hides an unbounded queue.
+
+Minibatch pipelining (reduce ``k+1``'s scatter overlapping reduce
+``k``'s allgather) is exposed as :meth:`ReduceService.submit_pipelined`
+— see :mod:`repro.service.pipeline` and the SGD loop in
+:mod:`repro.apps.sgd` for the end-to-end parameter-server use.
+
+See ``docs/service.md`` for the stream lifecycle and the backpressure
+semantics in detail.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..allreduce import KylixAllreduce, ReduceSpec
+from ..obs import NULL_OBSERVER
+from ..simul import AllOf
+from ..sparse import MultiplicativeHasher
+from .cache import ConfigCache, spec_fingerprint
+from .pipeline import pipelined_reduces
+
+__all__ = [
+    "ReduceService",
+    "ReduceStream",
+    "ReduceFuture",
+    "ServiceOverloaded",
+    "ServiceClosed",
+]
+
+BACKENDS = ("sim", "local", "tcp")
+
+#: Worker-pool shutdown sentinel (one per worker thread).
+_STOP = object()
+
+
+class ServiceOverloaded(RuntimeError):
+    """Admission control rejected a submit: the bounded queue is full."""
+
+
+class ServiceClosed(RuntimeError):
+    """The service was closed; no further submissions are accepted."""
+
+
+class ReduceFuture:
+    """Handle for one in-flight reduce.
+
+    ``result()`` blocks until the value is ready; on the simulator
+    backend it drives :meth:`ReduceService.drain` first (the simulator
+    is single-threaded — somebody has to turn the crank).
+    """
+
+    def __init__(self, service: "ReduceService", stream: "ReduceStream", seq: int):
+        self.stream = stream
+        self.seq = seq  # per-stream submission sequence number
+        self._service = service
+        self._evt = threading.Event()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._evt.is_set()
+
+    def _resolve(self, value: Any = None, error: Optional[BaseException] = None) -> None:
+        self._value = value
+        self._error = error
+        self._evt.set()
+
+    def result(self, timeout: Optional[float] = None):
+        if not self._evt.is_set():
+            self._service._make_progress()
+        budget = timeout if timeout is not None else self._service.result_timeout
+        if not self._evt.wait(budget):  # lint: ok — bounded wait
+            raise TimeoutError(
+                f"reduce {self.stream.name}#{self.seq} not done within {budget}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+@dataclass
+class ReduceStream:
+    """One named reduce stream: a spec binding plus submission counters."""
+
+    name: str
+    spec: ReduceSpec
+    fingerprint: str
+    net: Any  # KylixAllreduce (sim) or a ForkedKylixBase (local/tcp)
+    submitted: int = 0
+    completed: int = 0
+    drifts: int = 0
+
+
+class ReduceService:
+    """Multiplex named reduce streams over one simulated or real backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"sim"`` (default; needs ``cluster``), ``"local"`` (forked
+        processes over pipes) or ``"tcp"`` (forked processes over
+        loopback sockets).
+    cluster:
+        The :class:`~repro.cluster.Cluster` to run on (sim backend only).
+    degrees:
+        Butterfly degree stack shared by every stream.
+    slots:
+        Concurrency: jobs executed per simulator wave, or worker threads
+        on the forked backends.
+    queue_depth:
+        Bound of the admission queue; a full queue raises
+        :class:`ServiceOverloaded` (emitted as ``service.rejected``).
+    cache_size:
+        Capacity of the keyed config cache.
+    obs:
+        Observer for the ``config.cache.*`` / ``service.*`` counters.
+        Defaults to the cluster's observer on the sim backend.
+    """
+
+    def __init__(
+        self,
+        backend: str = "sim",
+        *,
+        cluster=None,
+        degrees: Sequence[int],
+        slots: int = 4,
+        queue_depth: int = 16,
+        cache_size: int = 8,
+        retry=None,
+        obs=None,
+        result_timeout: float = 120.0,
+        admission_timeout: float = 0.0,
+        net_kwargs: Optional[Dict[str, Any]] = None,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        if backend == "sim" and cluster is None:
+            raise ValueError("the sim backend needs a cluster=")
+        if slots < 1 or queue_depth < 1:
+            raise ValueError("slots and queue_depth must be >= 1")
+        self.backend = backend
+        self.cluster = cluster
+        self.degrees = [int(d) for d in degrees]
+        self.slots = int(slots)
+        self.queue_depth = int(queue_depth)
+        self.retry = retry
+        self.result_timeout = float(result_timeout)
+        self.admission_timeout = float(admission_timeout)
+        self.net_kwargs = dict(net_kwargs or {})
+        if obs is not None:
+            self.obs = obs
+        elif backend == "sim":
+            self.obs = getattr(cluster, "obs", None) or NULL_OBSERVER
+        else:
+            self.obs = NULL_OBSERVER
+        self.cache = ConfigCache(cache_size, obs=self.obs)
+        self._multiplier = int(MultiplicativeHasher()._mult)
+        self.streams: Dict[str, ReduceStream] = {}
+        # Admission queue: the bounded-queue backpressure contract.
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.queue_depth)
+        self._lock = threading.Lock()
+        self._workers: List[threading.Thread] = []
+        self._closed = False
+        self.stats = {"submitted": 0, "completed": 0, "rejected": 0}
+
+    # -- streams -----------------------------------------------------------
+    def open_stream(self, name: str, spec: ReduceSpec) -> ReduceStream:
+        """Bind ``name`` to a sparsity pattern; idempotent per name+spec."""
+        self._check_open()
+        fp = spec_fingerprint(spec, self.degrees, multiplier=self._multiplier)
+        existing = self.streams.get(name)
+        if existing is not None:
+            if existing.fingerprint != fp:
+                raise ValueError(
+                    f"stream {name!r} already bound to a different pattern; "
+                    "submit with spec= to drift it explicitly"
+                )
+            return existing
+        stream = ReduceStream(
+            name=name, spec=spec, fingerprint=fp, net=self._make_net(name)
+        )
+        self.streams[name] = stream
+        return stream
+
+    def _make_net(self, name: str):
+        if self.backend == "sim":
+            return KylixAllreduce(
+                self.cluster,
+                self.degrees,
+                retry=self.retry,
+                name=f"svc:{name}",
+                **self.net_kwargs,
+            )
+        if self.backend == "local":
+            from ..net.local import LocalKylix
+
+            cls = LocalKylix
+        else:
+            from ..net.tcp import TcpKylix
+
+            cls = TcpKylix
+        kwargs = dict(self.net_kwargs)
+        if self.retry is not None:
+            kwargs.setdefault("retry", self.retry)
+        return cls(degrees=self.degrees, **kwargs)
+
+    def _stream(self, stream: Union[str, ReduceStream]) -> ReduceStream:
+        if isinstance(stream, ReduceStream):
+            return stream
+        try:
+            return self.streams[stream]
+        except KeyError:
+            raise KeyError(f"unknown stream {stream!r}; open_stream() it first") from None
+
+    def _drift(self, stream: ReduceStream, spec: ReduceSpec) -> None:
+        """Re-bind a stream whose sparsity pattern changed."""
+        fp = spec_fingerprint(spec, self.degrees, multiplier=self._multiplier)
+        if fp == stream.fingerprint:
+            return
+        self.cache.invalidate(stream.fingerprint)
+        stream.spec = spec
+        stream.fingerprint = fp
+        stream.drifts += 1
+        if self.backend == "sim":
+            # The old binding's maps must not leak into the new pattern.
+            stream.net.spec = None
+            stream.net.plans = {}
+
+    def _ensure_configured(self, stream: ReduceStream) -> None:
+        """One cache consult per reduce: hit adopts, miss configures."""
+        if self.backend != "sim":
+            # Forked backends run the combined protocol on the wire; the
+            # cache tracks driver-side reuse (hits mean the wire plan is
+            # round-cacheable, see ForkedKylixBase.allreduce_rounds).
+            entry = self.cache.lookup(stream.fingerprint)
+            if entry is None:
+                self.cache.store(stream.fingerprint, {}, stream.spec)
+            return
+        entry = self.cache.lookup(stream.fingerprint)
+        if entry is None:
+            stream.net.configure(stream.spec)
+            self.cache.store(stream.fingerprint, stream.net.plans, stream.spec)
+        elif stream.net.plans is not entry.plans:
+            stream.net.adopt_plans(stream.spec, entry.plans)
+
+    # -- submission --------------------------------------------------------
+    def submit(
+        self,
+        stream: Union[str, ReduceStream],
+        values: Mapping[int, np.ndarray],
+        *,
+        spec: Optional[ReduceSpec] = None,
+    ) -> ReduceFuture:
+        """Enqueue one reduce on ``stream``; returns a future.
+
+        ``spec`` re-binds the stream when its sparsity pattern drifted
+        (recorded as a ``config.cache.invalidations`` event).  Raises
+        :class:`ServiceOverloaded` when the bounded queue stays full past
+        ``admission_timeout``.
+        """
+        self._check_open()
+        st = self._stream(stream)
+        if spec is not None:
+            self._drift(st, spec)
+        self._ensure_configured(st)
+        fut = ReduceFuture(self, st, st.submitted)
+        job = ("reduce", st, values, fut)
+        try:
+            if self.admission_timeout > 0:
+                self._queue.put(job, timeout=self.admission_timeout)
+            else:
+                self._queue.put_nowait(job)
+        except queue.Full:
+            self.stats["rejected"] += 1
+            self.obs.counter("service.rejected").inc(stream=st.name)
+            raise ServiceOverloaded(
+                f"stream {st.name!r}: admission queue full "
+                f"({self.queue_depth} pending)"
+            ) from None
+        st.submitted += 1
+        self.stats["submitted"] += 1
+        self.obs.counter("service.submitted").inc(stream=st.name)
+        self._start_workers()
+        return fut
+
+    def reduce(
+        self,
+        stream: Union[str, ReduceStream],
+        values: Mapping[int, np.ndarray],
+        *,
+        spec: Optional[ReduceSpec] = None,
+    ) -> Dict[int, np.ndarray]:
+        """Synchronous convenience: submit + result."""
+        return self.submit(stream, values, spec=spec).result()
+
+    def submit_pipelined(
+        self,
+        stream: Union[str, ReduceStream],
+        batches: Sequence[Mapping[int, np.ndarray]],
+        *,
+        depth: int = 2,
+    ) -> List[Dict[int, np.ndarray]]:
+        """Run a batch of reduces with down/up overlap (sim backend) or
+        as one fork-amortised multi-round session (forked backends).
+
+        Counts one cache consult per batch — the first reduce of a fresh
+        pattern misses and configures, every later batch hits.
+        """
+        self._check_open()
+        st = self._stream(stream)
+        batches = list(batches)
+        if not batches:
+            return []
+        for _ in batches:
+            self._ensure_configured(st)
+        st.submitted += len(batches)
+        self.stats["submitted"] += len(batches)
+        self.obs.counter("service.submitted").inc(len(batches), stream=st.name)
+        if self.backend == "sim":
+            results = pipelined_reduces(st.net, batches, depth=depth)
+        else:
+            results = st.net.allreduce_rounds(st.spec, batches)
+        st.completed += len(batches)
+        self.stats["completed"] += len(batches)
+        self.obs.counter("service.completed").inc(len(batches), stream=st.name)
+        return results
+
+    # -- execution ---------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosed("the service is closed")
+
+    def _make_progress(self) -> None:
+        """Called by futures: sim drains inline, forked backends have
+        worker threads already turning the crank."""
+        if self.backend == "sim":
+            self.drain()
+
+    def drain(self) -> int:
+        """Execute every queued job (sim backend); returns the count.
+
+        Jobs run in waves of up to ``slots``: one simulated-cluster run
+        per wave, every job in the wave a concurrent protocol instance.
+        """
+        if self.backend != "sim":
+            return 0
+        done = 0
+        while True:
+            jobs = []
+            while len(jobs) < self.slots:
+                try:
+                    jobs.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            if not jobs:
+                return done
+            self._run_wave_sim(jobs)
+            done += len(jobs)
+
+    def _run_wave_sim(self, jobs) -> None:
+        protos = []
+        for kind, st, values, fut in jobs:
+            if kind != "reduce":
+                raise RuntimeError(f"unexpected job kind {kind!r} on the sim queue")
+            net = st.net
+            net._instance += 1
+            protos.append((net, st.spec, values, net._instance))
+
+        def wave_proto(node):
+            engine = node.engine
+            procs = [
+                engine.process(net._reduce_proto(node, spec, values, inst))
+                for net, spec, values, inst in protos
+            ]
+            yield AllOf(engine, procs)
+            return [p.value for p in procs]
+
+        try:
+            raw = self.cluster.run(wave_proto)
+        except BaseException as exc:
+            for _, st, _, fut in jobs:
+                fut._resolve(error=exc)
+            raise
+        for j, (_, st, _, fut) in enumerate(jobs):
+            fut._resolve(value={rank: raw[rank][j] for rank in raw})
+            st.completed += 1
+            self.stats["completed"] += 1
+            self.obs.counter("service.completed").inc(stream=st.name)
+
+    def _start_workers(self) -> None:
+        if self.backend == "sim" or self._workers:
+            return
+        with self._lock:
+            if self._workers:
+                return
+            for i in range(self.slots):
+                t = threading.Thread(
+                    target=self._worker_loop, name=f"reduce-svc-{i}", daemon=True
+                )
+                t.start()
+                self._workers.append(t)
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _STOP:
+                return
+            _, st, values, fut = job
+            try:
+                result = st.net.allreduce(st.spec, values)
+            except BaseException as exc:
+                fut._resolve(error=exc)
+                continue
+            fut._resolve(value=result)
+            st.completed += 1
+            with self._lock:
+                self.stats["completed"] += 1
+            self.obs.counter("service.completed").inc(stream=st.name)
+
+    def close(self) -> None:
+        """Stop accepting work; drain sim jobs, stop worker threads."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.backend == "sim":
+            self.drain()
+        else:
+            for _ in self._workers:
+                self._queue.put(_STOP)
+            for t in self._workers:
+                t.join(timeout=self.result_timeout)
+
+    def __enter__(self) -> "ReduceService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -17,7 +17,7 @@ from .events import (
     Timeout,
 )
 from .process import Process
-from .scheduler import FifoScheduler, ReplayScheduler, Scheduler
+from .scheduler import FifoScheduler, JitterScheduler, ReplayScheduler, Scheduler
 from .store import FilterStore, Store, StoreGet
 from .waiting import WaitTimeout, wait_with_timeout
 
@@ -39,5 +39,6 @@ __all__ = [
     "StoreGet",
     "Scheduler",
     "FifoScheduler",
+    "JitterScheduler",
     "ReplayScheduler",
 ]

@@ -22,11 +22,18 @@ scheduled (whose occurrence is decided) are candidates.
 
 from __future__ import annotations
 
+import random
 from typing import List, Sequence, Tuple
 
 from .events import SimulationError
 
-__all__ = ["Scheduler", "FifoScheduler", "ReplayScheduler", "ScheduleDivergence"]
+__all__ = [
+    "Scheduler",
+    "FifoScheduler",
+    "JitterScheduler",
+    "ReplayScheduler",
+    "ScheduleDivergence",
+]
 
 #: One forced deviation from default order: at engine step ``step``,
 #: process the queued event carrying sequence number ``seq`` instead of
@@ -63,6 +70,27 @@ class FifoScheduler(Scheduler):
 
     def choose(self, queue: Sequence[tuple]) -> int:
         return 0
+
+
+class JitterScheduler(Scheduler):
+    """Seeded random choice among the queue's minimum-timestamp events.
+
+    Same-timestamp events are exactly the orderings the simulated clock
+    does not constrain — concurrent deliveries, simultaneous process
+    wakeups — so permuting them explores real arrival-order
+    nondeterminism while never modelling a message as *late* (the clock
+    is untouched; contrast divergence-based schedules).  Seeded, so a
+    jittered run is reproducible; the service-layer tests use this to
+    pin that concurrent-stream results are arrival-order independent.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(int(seed))
+
+    def choose(self, queue: Sequence[tuple]) -> int:
+        t0 = queue[0][0]
+        ties = [i for i, (t, _, _) in enumerate(queue) if t == t0]
+        return ties[self._rng.randrange(len(ties))] if len(ties) > 1 else 0
 
 
 class ReplayScheduler(Scheduler):

@@ -742,17 +742,27 @@ def worst_case_loss(
     Returns ``{rank: sorted raw in-indices possibly lost}``; ranks that
     cannot lose anything are omitted.  Step kills and timed deaths are
     covered (a timed death is treated as dead from the start — the
-    soundly conservative reading); message-fault rules are not, since
-    NACK/retry recovers them.
+    soundly conservative reading).  Message-fault rules on their own are
+    not, since NACK/retry recovers them — but a lossy rule *combined*
+    with a kill is: a message the victim sent before its kill point can
+    be dropped and the NACK then lands on a corpse, so under any
+    ``drop > 0`` rule every killed node is treated as dead from the
+    start.
     """
     hasher = hasher if hasher is not None else MultiplicativeHasher()
     m = topology.num_nodes
     nlayers = topology.num_layers
+    lossy = any(
+        getattr(rule, "drop", 0.0) > 0.0 for rule in getattr(faults, "rules", ())
+    )
     # dead node -> (first broken down state-layer or None, last broken up layer)
     kills: Dict[int, Tuple[Optional[int], int]] = {}
     for v in getattr(faults, "step_killed_nodes", ()):
         phase, layer = faults.step_kill_for(v)
-        if phase == "up":
+        if lossy:
+            # any pre-kill send may have dropped and is unrecoverable
+            kills[v] = (0, nlayers)
+        elif phase == "up":
             # down pass completed; up sends missing at layers <= layer
             kills[v] = (None, layer)
         elif phase == "down":

@@ -16,6 +16,7 @@ from .noprint import NoPrintRule
 from .sockets import SocketTimeoutRule
 from .spans import SpanBalanceRule
 from .timeouts import ExplicitTimeoutRule
+from .unbounded_queue import NoUnboundedQueueRule
 
 __all__ = [
     "RULES",
@@ -28,6 +29,7 @@ __all__ = [
     "ExplicitTimeoutRule",
     "NoMutableDefaultArgRule",
     "NoPrintRule",
+    "NoUnboundedQueueRule",
     "SocketTimeoutRule",
     "SpanBalanceRule",
 ]
@@ -42,6 +44,7 @@ RULES = [
     ExplicitTimeoutRule,
     NoMutableDefaultArgRule,
     NoPrintRule,
+    NoUnboundedQueueRule,
     SocketTimeoutRule,
     SpanBalanceRule,
 ]

@@ -1,0 +1,84 @@
+"""Rule: cross-thread queues in ``service/`` must be bounded.
+
+The service's backpressure contract (``docs/service.md``) is that
+admission control rejects work instead of queueing it without bound — an
+unbounded queue between a fast producer and a slow reduce backend grows
+until the process dies, silently converting overload into an OOM hours
+later.  Every ``queue.Queue``/``queue.LifoQueue``/``queue.PriorityQueue``
+and every ``collections.deque`` constructed inside ``service/`` must
+therefore declare its bound:
+
+* ``queue.Queue(...)`` needs a ``maxsize`` — first positional or
+  keyword — whose value is not the literal ``0`` (0 means unbounded);
+* ``deque(...)`` needs a ``maxlen=`` keyword, same non-zero rule.
+
+A queue that is genuinely single-threaded or bounded elsewhere can be
+exempted with ``# lint: ok`` plus a neighbouring comment saying why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..lint import LintFinding, LintRule
+from ._util import dotted_name
+
+__all__ = ["NoUnboundedQueueRule"]
+
+_QUEUE_CTORS = {
+    "queue.Queue",
+    "queue.LifoQueue",
+    "queue.PriorityQueue",
+    "Queue",
+    "LifoQueue",
+    "PriorityQueue",
+}
+_DEQUE_CTORS = {"collections.deque", "deque"}
+
+
+def _is_zero(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value == 0
+
+
+class NoUnboundedQueueRule(LintRule):
+    name = "no-unbounded-queue"
+    description = (
+        "queues and deques in service/ must be bounded: queue.Queue needs "
+        "a non-zero maxsize, deque needs a non-zero maxlen (backpressure "
+        "beats OOM)"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("service/")
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _QUEUE_CTORS:
+                bound = node.args[0] if node.args else None
+                for kw in node.keywords:
+                    if kw.arg == "maxsize":
+                        bound = kw.value
+                if bound is None or _is_zero(bound):
+                    yield self.finding(
+                        relpath,
+                        node,
+                        f"{name}() without a non-zero maxsize is an unbounded "
+                        "cross-thread queue; bound it (or '# lint: ok' with a "
+                        "reason if it is provably single-threaded)",
+                    )
+            elif name in _DEQUE_CTORS:
+                bound = None
+                for kw in node.keywords:
+                    if kw.arg == "maxlen":
+                        bound = kw.value
+                if bound is None or _is_zero(bound):
+                    yield self.finding(
+                        relpath,
+                        node,
+                        f"{name}() without maxlen= is unbounded; declare the "
+                        "bound (or '# lint: ok' with a reason)",
+                    )

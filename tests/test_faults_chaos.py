@@ -30,6 +30,7 @@ from repro.allreduce import (
 from repro.cluster import Cluster, attach_tracer
 from repro.faults import FaultPlan, LinkFault, PeerFailedError, RetryPolicy
 from repro.net import LocalKylix
+from repro.verify import worst_case_loss
 
 
 def make_case(m, n, seed):
@@ -194,6 +195,54 @@ class TestSimulatedChaos:
         # cascade waits.
         bound = 12 * retry.total_budget(cluster.params, 4 * nbytes)
         assert cluster.now < bound
+
+    @pytest.mark.parametrize(
+        "degrees,death",
+        [
+            ([4, 2], (3, "down", 2)),
+            ([2, 2, 2], (3, "down", 2)),
+            ([2, 2, 2], (3, "down", 3)),
+            ([2, 4], (2, "down", 2)),
+        ],
+    )
+    def test_combined_midstack_death_audit_is_exact(self, degrees, death):
+        """The simulator port of the wire protocol's dead-partial key
+        audit (mirroring TestTcpChaos): a node crashing *mid-stack* in the
+        combined down pass takes an accumulated partial with it, and the
+        coverage report must name exactly the requester indices whose
+        aggregates actually degraded — no unreported losses, no false
+        alarms — all within the static ``worst_case_loss`` envelope."""
+        victim = death[0]
+        spec, vals = make_case(8, 500, 21)
+        base = KylixAllreduce(
+            Cluster(8), degrees=degrees, degrade=True
+        ).allreduce_combined(spec, vals)
+        net = KylixAllreduce(
+            Cluster(8, failures=chaos_plan(death=death)),
+            degrees=degrees,
+            degrade=True,
+        )
+        out = net.allreduce_combined(spec, vals)
+        report = net.last_report
+        assert not report.complete and victim in report.dead_members
+        envelope = worst_case_loss(
+            net.topology, spec, net.hasher, chaos_plan(death=death)
+        )
+        for r in range(8):
+            if r == victim:
+                continue
+            lost = set(
+                np.asarray(report.lost_indices.get(r, np.empty(0)))
+                .astype(int)
+                .tolist()
+            )
+            actually_lost = {
+                int(ix)
+                for i, ix in enumerate(spec.in_indices[r])
+                if out[r][i] != base[r][i]
+            }
+            assert lost == actually_lost
+            assert lost <= set(np.asarray(envelope.get(r, np.empty(0))).astype(int).tolist())
 
 
 class TestLocalChaos:

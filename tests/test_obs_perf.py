@@ -33,7 +33,10 @@ class TestMeasure:
         assert record["key"] == "quickstart@sim"
         assert record["exact"] is True
         m = record["metrics"]
-        assert set(DEFAULT_TOLERANCES) <= set(m)
+        # Every metric the harness records has a declared gate policy
+        # (DEFAULT_TOLERANCES also carries service-row metrics that a
+        # protocol experiment does not emit).
+        assert set(m) <= set(DEFAULT_TOLERANCES)
         assert m["total_bytes"] > 0 and m["total_messages"] > 0
         assert m["merge_seconds"] > 0 and m["critical_path_seconds"] > 0
         assert set(m["layer_bytes"]) == {"L1", "L2"}

@@ -15,6 +15,7 @@ from repro.verify.rules import (
     NoBroadExceptRule,
     NoMutableDefaultArgRule,
     NoPrintRule,
+    NoUnboundedQueueRule,
     NoUnseededRngRule,
     NoWallClockRule,
     SocketTimeoutRule,
@@ -448,6 +449,62 @@ class TestRuleFixtures:
         )
         assert lint_file(path, [SocketTimeoutRule()], relpath="obs/fixture.py") == []
 
+    def test_no_unbounded_queue_fires_on_unbounded_ctors(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+            import collections
+            import queue
+
+            def build():
+                a = queue.Queue()
+                b = queue.Queue(maxsize=0)
+                c = collections.deque()
+                return a, b, c
+            """,
+        )
+        findings = lint_file(
+            path, [NoUnboundedQueueRule()], relpath="service/fixture.py"
+        )
+        assert rules_fired(findings) == {"no-unbounded-queue"}
+        assert len(findings) == 3
+
+    def test_no_unbounded_queue_accepts_bounded_ctors(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+            import collections
+            import queue
+
+            def build(depth):
+                a = queue.Queue(maxsize=depth)
+                b = queue.LifoQueue(8)
+                c = collections.deque(maxlen=16)
+                return a, b, c
+            """,
+        )
+        assert (
+            lint_file(path, [NoUnboundedQueueRule()], relpath="service/fixture.py")
+            == []
+        )
+
+    def test_no_unbounded_queue_scoped_to_service(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            """
+            __all__ = []
+            import queue
+
+            def build():
+                return queue.Queue()
+            """,
+        )
+        assert (
+            lint_file(path, [NoUnboundedQueueRule()], relpath="obs/fixture.py") == []
+        )
+
     def test_syntax_error_is_reported_not_raised(self, tmp_path):
         path = write_fixture(tmp_path, "def broken(:\n")
         findings = lint_file(path)
@@ -475,6 +532,7 @@ class TestPackageClean:
             "explicit-timeout",
             "no-mutable-default-arg",
             "no-print",
+            "no-unbounded-queue",
             "socket-timeout",
             "span-balance",
         }
