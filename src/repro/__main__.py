@@ -41,6 +41,10 @@ COMMANDS: dict[str, tuple[str, str]] = {
         "TRACE.json",
         "critical path, straggler/queue-wait and goblet reports for a trace",
     ),
+    "monitor": (
+        "[experiment] [--backend sim|local|tcp] [--attach MANIFEST] [--once] [--out FILE]",
+        "live telemetry dashboard: run an experiment sampled, or attach to a cluster",
+    ),
     "perf": (
         "[experiment...] [--backend sim|local] [--update-baseline]",
         "run the perf harness and gate against BENCH_kylix.json",
@@ -577,6 +581,154 @@ def _analyze(args: list[str]) -> int:
     return 0
 
 
+def _monitor(args: list[str]) -> int:
+    import argparse
+    import json
+    import socket as _socket
+    import time as _time
+
+    from .net.framing import FrameError, encode_frame, recv_frame
+    from .obs.runner import BACKENDS, EXPERIMENTS, run_traced
+    from .obs.telemetry import TimeSeriesAggregator
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro monitor",
+        description="the live telemetry dashboard: run a named experiment "
+        "with streaming metric sampling on any backend, or attach to a "
+        "running TCP cluster (its nodes buffer recent samples and answer "
+        "telemetry-req probes); --once renders a single dashboard and "
+        "optionally writes the kylix-telemetry-v1 JSON for CI",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="quickstart",
+        choices=sorted(EXPERIMENTS),
+        help="named workload to run sampled (default: quickstart; ignored "
+        "with --attach)",
+    )
+    parser.add_argument(
+        "--backend", default="sim", choices=list(BACKENDS),
+        help="execution backend for the in-process run (default: sim)",
+    )
+    parser.add_argument(
+        "--attach", default=None, metavar="MANIFEST",
+        help="attach to a running cluster via its manifest instead of "
+        "running an experiment; polls every node's buffered samples",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=None, metavar="SECONDS",
+        help="sampling interval for the in-process run (default: 0.0005 "
+        "virtual-s on sim, 0.05 wall-s on local/tcp)",
+    )
+    parser.add_argument(
+        "--refresh", type=float, default=1.0, metavar="SECONDS",
+        help="attach-mode dashboard refresh period (default: 1.0)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="attach-mode: stop refreshing after this much wall time",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render one dashboard, write --out if given, exit (CI mode)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the aggregated kylix-telemetry-v1 JSON document here",
+    )
+    parser.add_argument(
+        "--max-rows", type=int, default=24, help="dashboard series rows"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    opts = parser.parse_args(args)
+    if opts.interval is not None and opts.interval <= 0:
+        parser.error("--interval must be positive")
+    if opts.refresh <= 0:
+        parser.error("--refresh must be positive")
+
+    agg = TimeSeriesAggregator()
+    if opts.attach:
+        from .net.cluster import load_manifest
+
+        try:
+            manifest = load_manifest(opts.attach)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"monitor: cannot load {opts.attach}: {exc}")
+            return 2
+        # Samples stay buffered on the nodes across polls (and across
+        # sessions); dedupe so a re-served sample is ingested once.
+        seen: set = set()
+        deadline = (
+            None if opts.duration is None else _time.monotonic() + opts.duration
+        )
+        nodes = sorted(manifest["nodes"].values(), key=lambda n: n["rank"])
+        while True:
+            fresh, unreachable = 0, 0
+            for nd in nodes:
+                try:
+                    sock = _socket.create_connection(
+                        (nd["host"], nd["port"]), timeout=2.0
+                    )
+                except OSError:
+                    unreachable += 1
+                    continue
+                try:
+                    sock.sendall(encode_frame(("telemetry-req",)))
+                    ok, rep = recv_frame(sock, timeout=5.0)
+                except (OSError, FrameError):
+                    unreachable += 1
+                    continue
+                finally:
+                    sock.close()
+                if not ok or not isinstance(rep, tuple) or rep[0] != "telemetry-rep":
+                    continue
+                for s in rep[2]:
+                    key = (s.node, s.seq, s.t)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    agg.ingest(s)
+                    fresh += 1
+            if not opts.once and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            print(agg.render(max_rows=opts.max_rows))
+            print(
+                f"  attached to {len(nodes)} node(s) via {opts.attach} — "
+                f"{fresh} new sample(s) this poll"
+                + (f", {unreachable} unreachable" if unreachable else "")
+            )
+            if opts.once:
+                break
+            if deadline is not None and _time.monotonic() >= deadline:
+                break
+            _time.sleep(opts.refresh)
+    else:
+        interval = opts.interval
+        if interval is None:
+            # Virtual seconds on sim run ~1000x denser than wall seconds.
+            interval = 0.0005 if opts.backend == "sim" else 0.05
+        obs, info = run_traced(
+            opts.experiment,
+            backend=opts.backend,
+            seed=opts.seed,
+            telemetry_interval=interval,
+        )
+        agg.ingest_observer(obs)
+        print(agg.render(max_rows=opts.max_rows))
+        print(
+            f"  {opts.experiment}@{opts.backend} seed {opts.seed}, "
+            f"interval {interval}s — exact: {'yes' if info['exact'] else 'NO'}"
+        )
+        if not info["exact"]:
+            return 1
+    if opts.out:
+        with open(opts.out, "w") as fh:
+            json.dump(agg.to_json(), fh, indent=2, sort_keys=True)
+        print(f"  telemetry: {opts.out} ({agg.samples} sample(s))")
+    return 0
+
+
 def _perf(args: list[str]) -> int:
     import argparse
 
@@ -897,13 +1049,32 @@ def _drive_cluster(args: list[str]) -> int:
         "--trace-out", default=None, metavar="FILE",
         help="export the merged Chrome trace of the driven run here",
     )
+    parser.add_argument(
+        "--telemetry-interval", type=float, default=None, metavar="SECONDS",
+        help="stream live telemetry: every node samples its metrics on "
+        "this interval, frames flow back to the driver, and the nodes "
+        "buffer samples for `python -m repro monitor --attach`",
+    )
+    parser.add_argument(
+        "--telemetry-out", default=None, metavar="FILE",
+        help="write the driver-aggregated kylix-telemetry-v1 JSON here "
+        "(implies --telemetry-interval 0.05 if not set)",
+    )
     opts = parser.parse_args(args)
+    if opts.telemetry_interval is not None and opts.telemetry_interval <= 0:
+        parser.error("--telemetry-interval must be positive")
+    if opts.telemetry_out and opts.telemetry_interval is None:
+        opts.telemetry_interval = 0.05
     try:
         manifest = load_manifest(opts.manifest)
     except (OSError, ValueError, KeyError) as exc:
         print(f"drive-cluster: cannot load {opts.manifest}: {exc}")
         return 2
-    obs = Observer(name=f"{opts.workload}@cluster") if opts.trace_out else None
+    obs = (
+        Observer(name=f"{opts.workload}@cluster")
+        if (opts.trace_out or opts.telemetry_interval)
+        else None
+    )
     try:
         outcome = drive_cluster(
             manifest,
@@ -914,6 +1085,7 @@ def _drive_cluster(args: list[str]) -> int:
             failure_mode=opts.failure_mode,
             seed=opts.seed,
             observe=obs,
+            telemetry_interval=opts.telemetry_interval,
         )
     except (RuntimeError, ValueError) as exc:
         print(f"drive-cluster: {exc}")
@@ -967,6 +1139,22 @@ def _drive_cluster(args: list[str]) -> int:
         if outcome["checked_rounds"] == 0:
             print("  no results came back from any node")
             ok = False
+    agg = outcome.get("aggregator")
+    if agg is not None:
+        print(
+            f"  telemetry: {agg.samples} sample(s) from "
+            f"{len(agg.nodes)} node(s), "
+            f"{len(agg.points) + len(agg.hist_points)} series"
+        )
+        if opts.telemetry_interval and agg.samples == 0:
+            print("  telemetry gate: no samples arrived from any node")
+            ok = False
+        if opts.telemetry_out:
+            with open(opts.telemetry_out, "w") as fh:
+                json.dump(agg.to_json(), fh, indent=2, sort_keys=True)
+            print(f"  telemetry: {opts.telemetry_out}")
+    if outcome.get("postmortem"):
+        print(f"  postmortem: {outcome['postmortem']}")
     if opts.trace_out and obs is not None:
         doc = chrome_trace(obs, meta={"workload": opts.workload,
                                       "failure_mode": opts.failure_mode,
@@ -1225,6 +1413,8 @@ def main(argv: list[str]) -> int:
         return _trace(rest)
     if cmd == "analyze":
         return _analyze(rest)
+    if cmd == "monitor":
+        return _monitor(rest)
     if cmd == "perf":
         return _perf(rest)
     if cmd == "explore":

@@ -15,6 +15,7 @@ identical.
 
 from __future__ import annotations
 
+import json
 import os
 import queue
 import time
@@ -25,6 +26,7 @@ import numpy as np
 from ..allreduce import ReduceSpec
 from ..faults import CoverageReport, FaultPlan, LossRecord, PeerFailedError, RetryPolicy
 from ..obs import NULL_OBSERVER, Observer
+from ..obs.telemetry import FlightRecorder, TelemetryAgent, WallClockSampler
 from ..sparse import IndexHasher, MultiplicativeHasher
 from .protocol import run_combined, run_reduce
 from .transport import POLL_INTERVAL
@@ -44,6 +46,7 @@ def worker_main(
     observe: bool,
     degrade: bool,
     extra_rounds: Optional[Sequence[np.ndarray]] = None,
+    telemetry_interval: Optional[float] = None,
 ) -> None:
     """One node's blocking protocol run (executed in a child process).
 
@@ -73,6 +76,24 @@ def worker_main(
     # A private wall-clock observer; its snapshot rides the result queue
     # back to the parent, which absorbs it under this worker's pid row.
     obs = Observer(name=f"worker {rank}") if observe else NULL_OBSERVER
+    sampler = None
+    if obs.enabled and telemetry_interval is not None:
+        # Live telemetry: a daemon thread samples metric deltas on the
+        # interval; the samples ride obs.telemetry inside the snapshot
+        # the parent absorbs (repro.obs.telemetry).
+        sampler = WallClockSampler(
+            TelemetryAgent(obs, node=rank, interval=telemetry_interval),
+            name=f"telemetry-{rank}",
+        ).start()
+
+    def final_snapshot():
+        # Stop (and final-flush) the sampler before snapshotting so the
+        # shipped telemetry stream is complete and no thread keeps
+        # mutating the registry while it is pickled.
+        if sampler is not None:
+            sampler.stop(flush=True)
+        return obs.snapshot() if obs.enabled else None
+
     net = None
     try:
         net = transport_factory(rank, plan, retry, obs)
@@ -99,9 +120,7 @@ def worker_main(
                 )
             result = rounds
         extra = (lost_raw, losses) if degrade else None
-        result_q.put(
-            (rank, result, None, obs.snapshot() if obs.enabled else None, extra)
-        )
+        result_q.put((rank, result, None, final_snapshot(), extra))
         # Slow peers may still need resends of our final up-parts: stay
         # around servicing NACKs until the parent flips the done event.
         net.linger(done_evt, linger_budget)
@@ -111,7 +130,7 @@ def worker_main(
                 rank,
                 None,
                 ("peer", exc.slot, exc.phase, exc.layer, str(exc)),
-                obs.snapshot() if obs.enabled else None,
+                final_snapshot(),
                 None,
             )
         )
@@ -123,7 +142,7 @@ def worker_main(
                 rank,
                 None,
                 f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
-                obs.snapshot() if obs.enabled else None,
+                final_snapshot(),
                 None,
             )
         )
@@ -152,6 +171,9 @@ class ForkedKylixBase:
         join_timeout: float = 10.0,
         observe: Optional[Observer] = None,
         degrade: bool = False,
+        telemetry_interval: Optional[float] = None,
+        flight_recorder: Optional[FlightRecorder] = None,
+        postmortem_path: Optional[str] = None,
     ):
         self.degrees = [int(d) for d in degrees]
         self.size = int(np.prod(self.degrees))
@@ -183,6 +205,20 @@ class ForkedKylixBase:
         self.retry = retry if retry is not None else RetryPolicy()
         self.observe = observe
         self.degrade = bool(degrade)
+        if telemetry_interval is not None and telemetry_interval <= 0:
+            raise ValueError("telemetry_interval must be positive")
+        if telemetry_interval is not None and observe is None:
+            raise ValueError("telemetry_interval requires observe=Observer(...)")
+        self.telemetry_interval = telemetry_interval
+        #: Optional crash flight recorder.  When set, worker events that
+        #: reach the parent are recorded into its ring, and on
+        #: ``PeerFailedError`` / degraded completion a postmortem is
+        #: assembled (written to ``postmortem_path`` if given) — see
+        #: :mod:`repro.obs.telemetry`.
+        self.flight_recorder = flight_recorder
+        self.postmortem_path = postmortem_path
+        #: The last postmortem document produced, if any.
+        self.last_postmortem: Optional[Dict[str, Any]] = None
         #: :class:`CoverageReport` of the last degraded run (None outside
         #: degraded completion) — same contract as the simulator backend.
         self.last_report: Optional[CoverageReport] = None
@@ -295,6 +331,7 @@ class ForkedKylixBase:
                         obs.enabled,
                         self.degrade,
                         extra_rounds[rank] if extra_rounds else None,
+                        self.telemetry_interval,
                     ),
                 )
                 p.daemon = True
@@ -337,11 +374,19 @@ class ForkedKylixBase:
                 if snap is not None and obs.enabled:
                     # One trace process row per worker (pid 0 = driver).
                     obs.absorb(snap, pid=rank + 1, name=f"worker {rank}")
+                if snap is not None and self.flight_recorder is not None:
+                    self._record_snapshot(rank, snap)
                 if err is not None:
                     if isinstance(err, tuple) and err[0] == "peer":
                         _, slot, phase, layer, text = err
-                        raise PeerFailedError(text, slot=slot, phase=phase, layer=layer)
-                    raise RuntimeError(f"worker {rank} failed: {err}")
+                        exc = PeerFailedError(
+                            text, slot=slot, phase=phase, layer=layer
+                        )
+                        self._postmortem(error=exc)
+                        raise exc
+                    failure = RuntimeError(f"worker {rank} failed: {err}")
+                    self._postmortem(error=failure)
+                    raise failure
                 results[rank] = value
                 if extra is not None:
                     rank_lost, rank_losses = extra
@@ -359,11 +404,13 @@ class ForkedKylixBase:
                 grace_until.setdefault(r, now + 1.0)
                 if now >= grace_until[r]:
                     if not self.degrade:
-                        raise PeerFailedError(
+                        exc = PeerFailedError(
                             f"worker {r} exited with code {p.exitcode} before "
                             "posting a result",
                             slot=r,
                         )
+                        self._postmortem(error=exc)
+                        raise exc
                     # Degraded completion: the rank (and its result) is
                     # gone — its entire requested slice is lost, the run
                     # continues on the survivors.
@@ -374,10 +421,12 @@ class ForkedKylixBase:
                     settled.add(r)
             if now >= deadline:
                 missing = sorted(set(procs) - settled)
-                raise PeerFailedError(
+                exc = PeerFailedError(
                     f"no result from workers {missing} within {self.timeout}s",
                     slot=missing[0] if missing else None,
                 )
+                self._postmortem(error=exc)
+                raise exc
         if self.degrade:
             self.last_report = CoverageReport(
                 total_ranks=self.size,
@@ -386,7 +435,61 @@ class ForkedKylixBase:
                 dead_members=tuple(e.member for e in losses),
                 losses=tuple(losses),
             )
+            if lost or losses:
+                # Degraded completion leaves evidence too: the recorder
+                # doc carries the report's exact lost ranges.
+                self._postmortem(report=self.last_report)
         return results
+
+    def _record_snapshot(self, rank: int, snap: Dict[str, Any]) -> None:
+        """Feed one worker snapshot's events into the flight recorder.
+
+        Worker observers live in child processes, so the parent-side
+        recorder cannot subscribe to them live; their spans, deliveries,
+        and telemetry marks are replayed into the ring as their
+        snapshots arrive (the ring keeps only the most recent events)."""
+        rec = self.flight_recorder
+        for sp in snap.get("spans", []):
+            rec.record(
+                "span",
+                sp.end,
+                name=sp.name,
+                node=sp.node,
+                phase=sp.phase,
+                layer=sp.layer,
+                start=sp.start,
+                worker=rank,
+            )
+        for ev in snap.get("messages", []):
+            rec.record(
+                "message",
+                ev.delivered_at if ev.delivered_at is not None else ev.sent_at,
+                src=ev.src,
+                dst=ev.dst,
+                nbytes=ev.nbytes,
+                phase=ev.phase,
+                layer=ev.layer,
+            )
+        for s in snap.get("telemetry", []):
+            rec.record("telemetry", s.t, node=s.node, seq=s.seq)
+
+    def _postmortem(self, *, error=None, report=None) -> None:
+        """Assemble (and optionally write) the crash postmortem."""
+        rec = self.flight_recorder
+        if rec is None:
+            return
+        doc = rec.postmortem(
+            error=error,
+            report=report,
+            context={
+                "backend": self._BACKEND_NAME,
+                "degrees": [int(d) for d in self.degrees],
+            },
+        )
+        self.last_postmortem = doc
+        if self.postmortem_path:
+            with open(self.postmortem_path, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
 
     def _reap(self, procs) -> None:
         """Terminate + join every worker; zero live children afterwards."""

@@ -53,6 +53,7 @@ import subprocess
 import sys
 import threading
 import time
+from collections import deque
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -66,7 +67,13 @@ from ..faults import (
     RetryPolicy,
 )
 from ..obs import NULL_OBSERVER, Observer
-from .framing import FrameError, encode_frame, recv_frame
+from ..obs.telemetry import (
+    FlightRecorder,
+    TelemetryAgent,
+    TimeSeriesAggregator,
+    WallClockSampler,
+)
+from .framing import FrameError, FrameStream, encode_frame, recv_frame
 from .protocol import run_combined, run_reduce
 from .tcp import TcpTransport, loopback_listener
 from .transport import POLL_INTERVAL
@@ -108,11 +115,14 @@ def serve_node(
 ) -> int:
     """One cluster node: announce READY, then serve driver sessions.
 
-    The single listener serves three frame kinds: peer ``hello`` frames
+    The single listener serves four frame kinds: peer ``hello`` frames
     that raced the session setup (stashed and handed to the transport),
     driver ``ping`` probes (answered with ``pong`` + rank/pid, used by
-    :func:`attach_cluster`), and driver ``session`` frames.  A
-    ``shutdown`` frame ends the loop.
+    :func:`attach_cluster`), driver ``session`` frames, and monitor
+    ``telemetry-req`` probes (answered with the node's buffered recent
+    :class:`~repro.obs.telemetry.TelemetrySample` stream — the attach
+    path behind ``python -m repro monitor``).  A ``shutdown`` frame ends
+    the loop.
     """
     stream = ready_stream if ready_stream is not None else sys.stdout
     listener = loopback_listener(host, port, backlog=64)
@@ -122,6 +132,10 @@ def serve_node(
     )
     stream.flush()
     pending: List[Tuple[int, socket.socket]] = []
+    # Recent telemetry samples from telemetry-enabled sessions, kept
+    # across sessions so a monitor can attach after (or during) a run.
+    # Bounded: old samples age out, monitors dedupe by (node, seq).
+    recent: deque = deque(maxlen=4096)
     # Driver connections accepted by a *session's* transport while it was
     # winding down (their first frame is not a peer hello) land here and
     # are served before the next accept — nothing is dropped in the race.
@@ -157,8 +171,15 @@ def serve_node(
                 finally:
                     sock.close()
                 return 0
+            elif kind == "telemetry-req":
+                try:
+                    sock.sendall(
+                        encode_frame(("telemetry-rep", rank, list(recent)))
+                    )
+                finally:
+                    sock.close()
             elif kind == "session":
-                _run_session(rank, listener, sock, frame[1], pending, stray)
+                _run_session(rank, listener, sock, frame[1], pending, stray, recent)
                 pending = []
                 if once:
                     return 0
@@ -170,7 +191,7 @@ def serve_node(
 
 def _run_session(
     rank: int, listener, control: socket.socket, cfg: Dict[str, Any], pending,
-    stray,
+    stray, recent=None,
 ) -> None:
     """Run one driver session: mesh up, reduce ``rounds`` times, report."""
     plan: Optional[FaultPlan] = cfg.get("plan")
@@ -178,6 +199,33 @@ def _run_session(
     degrade = bool(cfg.get("degrade", False))
     observe = bool(cfg.get("observe", False))
     obs = Observer(name=f"node {rank}") if observe else NULL_OBSERVER
+    telemetry_interval = cfg.get("telemetry_interval")
+    # The result frame and streamed telemetry frames share the control
+    # socket; the lock keeps their byte streams from interleaving.
+    ctrl_lock = threading.Lock()
+    sampler = None
+    recorder = None
+    if observe:
+        recorder = FlightRecorder(capacity=512, node=rank).attach(obs)
+    if observe and telemetry_interval:
+        def ship(sample) -> None:
+            # Buffer for monitor telemetry-req probes, then stream the
+            # control-plane TELEMETRY frame to the driver (best-effort:
+            # a departed driver must not kill the sampler).
+            if recent is not None:
+                recent.append(sample)
+            with ctrl_lock:
+                try:
+                    control.sendall(encode_frame(("telemetry", rank, sample)))
+                except OSError:
+                    pass
+
+        sampler = WallClockSampler(
+            TelemetryAgent(
+                obs, node=rank, interval=float(telemetry_interval), sink=ship
+            ),
+            name=f"telemetry-node-{rank}",
+        ).start()
     step_kill = plan.step_kill_for(rank) if plan is not None else None
     if plan is not None and not plan.is_alive(rank, 0.0):
         os._exit(1)  # dead from the start: a real process death
@@ -256,23 +304,56 @@ def _run_session(
         # Slow peers may still want resends of our final up-parts; give
         # the NACK layer a short grace before tearing the mesh down.
         net.linger(threading.Event(), budget=min(0.5, retry.local_budget()))
-        control.sendall(
-            encode_frame(
-                (
-                    "result",
-                    rank,
-                    err,
-                    rounds_out,
-                    obs.snapshot() if obs.enabled else None,
-                    cache_stats,
+        # Stop (and final-flush) the sampler before the result frame so
+        # the telemetry stream is complete and ordered before it.
+        if sampler is not None:
+            sampler.stop(flush=True)
+        _dump_node_postmortem(rank, recorder, cfg, err, rounds_out)
+        with ctrl_lock:
+            control.sendall(
+                encode_frame(
+                    (
+                        "result",
+                        rank,
+                        err,
+                        rounds_out,
+                        obs.snapshot() if obs.enabled else None,
+                        cache_stats,
+                    )
                 )
             )
-        )
     except OSError:  # pragma: no cover - driver went away
         pass
     finally:
+        if sampler is not None:
+            sampler.stop(flush=False)
         control.close()
         net.close()
+
+
+def _dump_node_postmortem(rank, recorder, cfg, err, rounds_out) -> None:
+    """Write this node's flight-recorder dump if the session went bad.
+
+    Triggered by a session error or by degraded rounds that reported
+    losses; the path is ``<postmortem_dir>/postmortem-node-<rank>.json``
+    (the driver ships ``postmortem_dir`` in the session config)."""
+    pm_dir = cfg.get("postmortem_dir")
+    if recorder is None or not pm_dir:
+        return
+    had_loss = any(
+        (losses or (lost_raw is not None and len(lost_raw)))
+        for _rnd, _res, lost_raw, losses in rounds_out
+    )
+    if err is None and not had_loss:
+        return
+    try:
+        os.makedirs(pm_dir, exist_ok=True)
+        recorder.dump(
+            os.path.join(pm_dir, f"postmortem-node-{rank}.json"),
+            context={"rank": rank, "err": str(err) if err is not None else None},
+        )
+    except OSError:  # pragma: no cover - postmortem is best-effort
+        pass
 
 
 # ---------------------------------------------------------------------------
@@ -556,8 +637,22 @@ def drive_cluster(
     seed: int = 0,
     observe: Optional[Observer] = None,
     session_timeout: float = 120.0,
+    telemetry_interval: Optional[float] = None,
+    aggregator: Optional[TimeSeriesAggregator] = None,
+    postmortem_dir: Optional[str] = DEFAULT_LOG_DIR,
 ) -> Dict[str, Any]:
     """Run a workload against a launched cluster; return the outcome.
+
+    ``telemetry_interval`` (requires ``observe``) turns on the live
+    telemetry plane: every node samples its metric registry on that
+    wall-clock interval and streams ``("telemetry", rank, sample)``
+    frames back on its session control connection; the driver ingests
+    them into ``aggregator`` (created on demand, returned under
+    ``outcome["aggregator"]``), and the nodes also buffer them for
+    ``python -m repro monitor`` attach probes.  On degraded completion
+    or session errors a flight-recorder postmortem cross-linked with the
+    merged :class:`~repro.faults.CoverageReport` is written under
+    ``postmortem_dir`` (``outcome["postmortem"]`` names the file).
 
     ``concurrency`` is the number of reduction rounds batched into one
     session wave: one mesh formation — and, on clean sessions, one
@@ -598,6 +693,16 @@ def drive_cluster(
     obs = observe if observe is not None else NULL_OBSERVER
     if obs.enabled:
         obs.name_pid(0, "driver")
+    if telemetry_interval is not None:
+        if telemetry_interval <= 0:
+            raise ValueError("telemetry_interval must be positive")
+        if not obs.enabled:
+            raise ValueError("telemetry_interval requires observe=Observer(...)")
+        if aggregator is None:
+            aggregator = TimeSeriesAggregator()
+    recorder = FlightRecorder(capacity=512, node=-1)
+    if obs.enabled:
+        recorder.attach(obs)
     addrs = {
         n["rank"]: (n["host"], n["port"]) for n in manifest["nodes"].values()
     }
@@ -640,7 +745,13 @@ def drive_cluster(
         wave_results, wave_errs, dead, wave_cache = _run_wave(
             addrs, spec, w, plan, retry, degrade, wave,
             multiplier=multiplier, obs=obs, session_timeout=session_timeout,
+            telemetry_interval=telemetry_interval, aggregator=aggregator,
+            recorder=recorder, postmortem_dir=postmortem_dir,
         )
+        for msg in wave_errs:
+            recorder.record("error", time.monotonic() - started, detail=msg)
+        for r in dead:
+            recorder.record("dead", time.monotonic() - started, rank=r)
         outcome["waves"] += 1
         outcome["rounds_run"] += wave
         outcome["errors"].extend(wave_errs)
@@ -709,6 +820,30 @@ def drive_cluster(
         outcome["bound_ok"] = not violations
         outcome["bound_violations"] = violations
     outcome["report"] = report
+    if aggregator is not None:
+        outcome["aggregator"] = aggregator
+        outcome["telemetry_samples"] = aggregator.samples
+    # Crash evidence: any loss, error, or dead rank leaves a postmortem
+    # whose coverage section is exactly the merged report above.
+    went_bad = bool(
+        (report is not None and (report.lost_indices or report.losses))
+        or outcome["errors"]
+        or outcome["dead_ranks"]
+    )
+    if postmortem_dir and went_bad:
+        os.makedirs(postmortem_dir, exist_ok=True)
+        path = os.path.join(postmortem_dir, "postmortem-driver.json")
+        recorder.dump(
+            path,
+            report=report,
+            context={
+                "workload": workload,
+                "failure_mode": failure_mode,
+                "seed": seed,
+                "dead_ranks": [int(r) for r in outcome["dead_ranks"]],
+            },
+        )
+        outcome["postmortem"] = path
     return outcome
 
 
@@ -722,9 +857,14 @@ def _round_exact(result, reference, spec, rank, lost_raw) -> bool:
 
 def _run_wave(
     addrs, spec, w, plan, retry, degrade, rounds, *, multiplier, obs,
-    session_timeout,
+    session_timeout, telemetry_interval=None, aggregator=None, recorder=None,
+    postmortem_dir=None,
 ):
-    """One session wave: ship configs to every node, collect results."""
+    """One session wave: ship configs to every node, collect results.
+
+    With telemetry enabled, each control connection carries a stream of
+    ``("telemetry", rank, sample)`` frames before its ``result`` frame;
+    they are ingested into ``aggregator`` as they arrive."""
     results: Dict[int, list] = {}
     errors: List[str] = []
     dead: List[int] = []
@@ -748,6 +888,8 @@ def _run_wave(
             "degrade": degrade,
             "rounds": rounds,
             "observe": obs.enabled,
+            "telemetry_interval": telemetry_interval,
+            "postmortem_dir": postmortem_dir,
         }
         try:
             sock = socket.create_connection(addrs[rank], timeout=5.0)
@@ -758,7 +900,21 @@ def _run_wave(
             return
         try:
             sock.sendall(encode_frame(("session", cfg)))
-            ok, frame = recv_frame(sock, timeout=session_timeout)
+            stream = FrameStream(sock)
+            while True:
+                ok, frame = stream.recv(timeout=session_timeout)
+                if not ok or not isinstance(frame, tuple):
+                    break
+                if frame[0] != "telemetry":
+                    break  # the result frame
+                with lock:
+                    if aggregator is not None:
+                        aggregator.ingest(frame[2])
+                    if recorder is not None:
+                        recorder.record(
+                            "telemetry", frame[2].t, node=frame[1],
+                            seq=frame[2].seq,
+                        )
         except (OSError, FrameError) as exc:
             # The node died mid-session (crash mode's os._exit lands
             # here as an EOF): a real process death, accounted as one.

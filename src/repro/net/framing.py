@@ -26,6 +26,7 @@ __all__ = [
     "encode_frame",
     "decode_frame",
     "FrameDecoder",
+    "FrameStream",
     "recv_frame",
     "send_frame",
 ]
@@ -138,6 +139,40 @@ _INCOMPLETE = object()
 def send_frame(sock, obj: Any) -> None:
     """Blocking send of one frame on a connected socket."""
     sock.sendall(encode_frame(obj))
+
+
+class FrameStream:
+    """Stateful multi-frame receiver over one connected socket.
+
+    :func:`recv_frame` enforces a strict one-frame-per-connection
+    contract, which suits probes and single replies.  Connections that
+    *stream* frames — a session control socket carrying TELEMETRY
+    frames ahead of its result — can legitimately pack several frames
+    into one TCP chunk; this wrapper keeps the remainder buffered and
+    hands frames back one at a time, in order.
+    """
+
+    def __init__(self, sock) -> None:
+        self.sock = sock
+        self._dec = FrameDecoder()
+        self._ready: List[Any] = []
+
+    def recv(self, timeout: Optional[float] = None) -> Tuple[bool, Any]:
+        """Next frame: ``(True, message)``, or ``(False, None)`` on a
+        clean EOF at a frame boundary.  Raises like :func:`recv_frame`."""
+        if self._ready:
+            return True, self._ready.pop(0)
+        if timeout is not None:
+            self.sock.settimeout(timeout)
+        while True:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                self._dec.eof()
+                return False, None
+            msgs = self._dec.feed(chunk)
+            if msgs:
+                self._ready.extend(msgs[1:])
+                return True, msgs[0]
 
 
 def recv_frame(sock, timeout: Optional[float] = None) -> Tuple[bool, Any]:

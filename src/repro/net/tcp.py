@@ -283,6 +283,13 @@ class TcpTransport(BaseTransport):
             return  # peer unreachable: the NACK layer cannot help a dead peer
         link.q.put(encode_frame(frame))
 
+    def send_telemetry(self, member, sample) -> None:
+        """Ship one TelemetrySample to ``member`` as a TELEMETRY frame.
+
+        Control plane: never fault-injected, never cached for NACKs —
+        best-effort streaming on the ordered per-peer sender thread."""
+        self._send_frame(member, ("telemetry", sample))
+
     def post(self, member, kind, layer, part, seq=0) -> None:
         """Cache + fault-inject off-thread; bytes go out on the per-peer
         sender thread (deadlock-free exchange, ordered per link)."""

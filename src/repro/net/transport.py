@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..cluster.node import payload_nbytes
@@ -105,6 +106,10 @@ class BaseTransport:
         self._audit_events: Dict[int, threading.Event] = {}
         self._audit_token = 0
         self._audit_lock = threading.Lock()
+        #: TELEMETRY frames received from peers, as (member, sample).
+        #: Bounded: telemetry is best-effort and an unattended buffer
+        #: must not grow without limit.
+        self.telemetry_in: deque = deque(maxlen=1024)
         self.duplicates_dropped = 0
         self.senders: List[threading.Thread] = []
 
@@ -241,6 +246,12 @@ class BaseTransport:
             evt = self._audit_events.get(token)
             if evt is not None:
                 evt.set()
+        elif obj[0] == "telemetry":
+            # Control-plane TELEMETRY frame: a peer streaming its
+            # TelemetrySample upstream (repro.obs.telemetry).  Buffered
+            # for the owner to drain; never fault-injected, never part
+            # of the reduction's message-order invariant.
+            self.telemetry_in.append((member, obj[1]))
         else:
             raise ProtocolInvariantError(
                 f"rank {self.rank}: unknown frame {obj[0]!r} from {member}",
@@ -250,6 +261,13 @@ class BaseTransport:
     def pump(self) -> List[int]:
         """Drain everything readable once; returns peers newly seen dead."""
         return self._pump_once()
+
+    def drain_telemetry(self) -> List[Tuple[int, Any]]:
+        """Pop every buffered TELEMETRY frame as (member, sample)."""
+        out: List[Tuple[int, Any]] = []
+        while self.telemetry_in:
+            out.append(self.telemetry_in.popleft())
+        return out
 
     def _jitter_salt(self, kind: str, layer: int, seq: int) -> tuple:
         # Per-(node, phase, layer, seq) salt: peers that all lost the

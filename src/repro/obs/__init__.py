@@ -20,7 +20,12 @@ package is the one lens over both execution backends:
   extraction, queue-wait/straggler reports, the per-layer volume
   "goblet"), consuming a live observer or exported JSON;
 * :mod:`repro.obs.perf` — the perf-regression harness behind
-  ``python -m repro perf``, gating runs against ``BENCH_kylix.json``.
+  ``python -m repro perf``, gating runs against ``BENCH_kylix.json``;
+* :mod:`repro.obs.telemetry` — the *live* plane: streaming metric
+  samplers on every backend, the per-(node, metric, labels) time-series
+  aggregator behind ``python -m repro monitor``, and the crash flight
+  recorder that dumps a postmortem cross-linked with the dead-partial
+  key audit.
 
 Enable on the simulator with ``Cluster(observe=True)`` (or hand in your
 own :class:`Observer`); on the real-process backend pass
@@ -41,6 +46,18 @@ from .export import chrome_trace, metrics_json, text_summary, validate_chrome_tr
 from .metrics import CATALOGUE, Counter, Gauge, Histogram, MetricsRegistry
 from .observer import NULL_OBSERVER, NullObserver, Observer
 from .perf import run_perf
+from .telemetry import (
+    DEFAULT_INTERVAL,
+    POSTMORTEM_SCHEMA,
+    TELEMETRY_SCHEMA,
+    FlightRecorder,
+    SimSampler,
+    TelemetryAgent,
+    TelemetrySample,
+    TimeSeriesAggregator,
+    WallClockSampler,
+    postmortem_doc,
+)
 
 __all__ = [
     "Observer",
@@ -64,4 +81,14 @@ __all__ = [
     "analyze",
     "render_analysis",
     "run_perf",
+    "TELEMETRY_SCHEMA",
+    "POSTMORTEM_SCHEMA",
+    "DEFAULT_INTERVAL",
+    "TelemetrySample",
+    "TelemetryAgent",
+    "SimSampler",
+    "WallClockSampler",
+    "TimeSeriesAggregator",
+    "FlightRecorder",
+    "postmortem_doc",
 ]

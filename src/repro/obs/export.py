@@ -41,6 +41,7 @@ def _t0(obs: Observer) -> float:
     """Earliest timestamp across all events (the export zero)."""
     times = [sp.start for sp in obs.spans]
     times += [ev.sent_at for ev in obs.messages]
+    times += [s.t for s in getattr(obs, "telemetry", ())]
     return min(times) if times else 0.0
 
 
@@ -125,6 +126,46 @@ def chrome_trace(obs: Observer, *, meta: Optional[Dict[str, Any]] = None) -> Dic
                         "nbytes": ev.nbytes,
                         "phase": ev.phase,
                         "layer": ev.layer,
+                    },
+                }
+            )
+
+    # Telemetry samples render as Perfetto counter tracks: one "C" event
+    # per (sample, metric), args keyed by flattened label set so every
+    # labelled series gets its own stacked line under the metric's track.
+    # Counters chart the per-interval delta, gauges the sampled value.
+    for s in getattr(obs, "telemetry", ()):
+        pid = 0 if s.node < 0 else s.node + 1
+        ts = (s.t - t0) * 1e6
+        for name in sorted(s.counters):
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {
+                        (",".join(f"{k}={v}" for k, v in key) or "value"): val
+                        for key, val in sorted(
+                            s.counters[name].items(), key=lambda kv: str(kv[0])
+                        )
+                    },
+                }
+            )
+        for name in sorted(s.gauges):
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {
+                        (",".join(f"{k}={v}" for k, v in key) or "value"): val
+                        for key, val in sorted(
+                            s.gauges[name].items(), key=lambda kv: str(kv[0])
+                        )
                     },
                 }
             )
@@ -248,6 +289,15 @@ def validate_chrome_trace(doc: Any) -> List[str]:
                 errors.append(f"{where}: 'X' event needs numeric ts >= 0")
             if not isinstance(dur, (int, float)) or dur < 0:
                 errors.append(f"{where}: 'X' event needs numeric dur >= 0")
+        elif ph == "C":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: 'C' event needs numeric ts >= 0")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(f"{where}: 'C' event needs a non-empty args object")
+            elif any(not isinstance(v, (int, float)) for v in args.values()):
+                errors.append(f"{where}: 'C' event args values must be numeric")
         elif ph == "M":
             if ev.get("name") in ("process_name", "thread_name") and not isinstance(
                 ev.get("args", {}).get("name"), str

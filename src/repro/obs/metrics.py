@@ -49,6 +49,10 @@ CATALOGUE: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
     "service.submitted": ("counter", ("stream",), "reduces admitted per named service stream"),
     "service.completed": ("counter", ("stream",), "reduces completed per named service stream"),
     "service.rejected": ("counter", ("stream",), "submissions rejected by bounded-queue admission control"),
+    "service.queue.depth": ("gauge", (), "admission-queue depth, sampled on every submit and completion"),
+    "slo.reduce_latency": ("histogram", ("stream",), "submit-to-result latency per named service stream (virtual seconds on sim)"),
+    "slo.cache.hit_rate": ("gauge", (), "config-cache hit rate so far (hits / consults) — the cache-amortization trend"),
+    "telemetry.samples": ("counter", ("node",), "telemetry samples taken per agent (repro.obs.telemetry.TelemetryAgent)"),
     "faults.injected": ("counter", ("kind",), "fault-oracle decisions applied (dropped/delayed/duplicated)"),
     "faults.resent": ("counter", ("phase", "layer"), "NACK-serviced retransmissions"),
     "faults.duplicates_dropped": ("counter", ("phase", "layer"), "receiver-side dedupe hits"),
@@ -160,7 +164,17 @@ class Histogram:
     def _summarise(obs: Iterable[float]) -> Dict[str, float]:
         arr = np.asarray(list(obs), dtype=np.float64)
         if arr.size == 0:
-            return {"count": 0}
+            # A labelled series with no observations still summarises to
+            # a well-defined document: every key present, no percentile
+            # crash — consumers branch on count, never on key presence.
+            return {
+                "count": 0,
+                "min": 0.0,
+                "max": 0.0,
+                "mean": 0.0,
+                "p50": 0.0,
+                "p99": 0.0,
+            }
         return {
             "count": int(arr.size),
             "min": float(arr.min()),

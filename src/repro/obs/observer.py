@@ -82,10 +82,15 @@ class Observer:
         self._clock = clock
         self.spans: List[SpanEvent] = []
         self.messages: List[MessageEvent] = []
+        #: TelemetrySample stream (appended by a TelemetryAgent); rides
+        #: snapshot()/absorb() like spans, so worker samples reach the
+        #: parent's TimeSeriesAggregator.  See repro.obs.telemetry.
+        self.telemetry: List[Any] = []
         self.metrics = MetricsRegistry()
         self.pid_names: Dict[int, str] = {}
         self._sent_subs: List[Callable[[MessageEvent], None]] = []
         self._delivered_subs: List[Callable[[MessageEvent], None]] = []
+        self._span_subs: List[Callable[[SpanEvent], None]] = []
         # (is_self, phase, layer) -> (bytes, messages) bound counters:
         # the send path's two counter incs without re-canonicalising the
         # same label set for every message.
@@ -172,18 +177,19 @@ class Observer:
             layer=token.layer,
             node=token.node,
         )
-        self.spans.append(
-            SpanEvent(
-                name=token.name,
-                start=token.start,
-                end=end,
-                node=token.node,
-                phase=token.phase,
-                layer=token.layer,
-                pid=token.pid,
-                args=token.args,
-            )
+        ev = SpanEvent(
+            name=token.name,
+            start=token.start,
+            end=end,
+            node=token.node,
+            phase=token.phase,
+            layer=token.layer,
+            pid=token.pid,
+            args=token.args,
         )
+        self.spans.append(ev)
+        for fn in self._span_subs:
+            fn(ev)
 
     # -- metrics passthrough ----------------------------------------------
     def counter(self, name: str):
@@ -257,6 +263,10 @@ class Observer:
     def subscribe_delivered(self, fn: Callable[[MessageEvent], None]) -> None:
         self._delivered_subs.append(fn)
 
+    def subscribe_span(self, fn: Callable[[SpanEvent], None]) -> None:
+        """Called with each SpanEvent as it closes (flight recorders)."""
+        self._span_subs.append(fn)
+
     # -- naming ------------------------------------------------------------
     def name_pid(self, pid: int, name: str) -> None:
         """Display name for one producing process in the exported trace."""
@@ -268,6 +278,7 @@ class Observer:
         return {
             "spans": list(self.spans),
             "messages": list(self.messages),
+            "telemetry": list(self.telemetry),
             "metrics": self.metrics.snapshot(),
         }
 
@@ -277,6 +288,7 @@ class Observer:
         for sp in snap.get("spans", []):
             self.spans.append(replace(sp, pid=pid))
         self.messages.extend(snap.get("messages", []))
+        self.telemetry.extend(snap.get("telemetry", []))
         self.metrics.absorb(snap.get("metrics", {}))
         if name:
             self.name_pid(pid, name)

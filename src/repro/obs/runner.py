@@ -124,6 +124,7 @@ def run_traced(
     backend: str = "sim",
     seed: int = 0,
     kill: Any = None,
+    telemetry_interval: Any = None,
 ) -> Tuple[Any, Dict[str, Any]]:
     """Run one named experiment fully observed; return ``(observer, info)``.
 
@@ -132,6 +133,13 @@ def run_traced(
     run to degraded completion: the survivors finish, ``info["report"]``
     carries the :class:`~repro.faults.CoverageReport`, and the exactness
     check skips exactly the indices the report declares lost.
+
+    ``telemetry_interval`` turns on the live telemetry plane
+    (:mod:`repro.obs.telemetry`): on ``sim`` a :class:`SimSampler`
+    ticks the virtual clock (same seed ⇒ bit-identical series); on the
+    real backends every worker runs a wall-clock sampler and its samples
+    ride the snapshot home.  The samples land in ``observer.telemetry``,
+    ready for :meth:`TimeSeriesAggregator.ingest_observer`.
     """
     if experiment not in EXPERIMENTS:
         raise ValueError(
@@ -168,16 +176,28 @@ def run_traced(
         "report": None,
     }
 
+    if telemetry_interval is not None and telemetry_interval <= 0:
+        raise ValueError("telemetry_interval must be positive")
+
     if backend == "sim":
         from ..allreduce import KylixAllreduce
         from ..cluster import Cluster
+        from .telemetry import SimSampler, TelemetryAgent
 
         cluster = Cluster(m, seed=seed, failures=faults, observe=True)
         obs = cluster.obs
         obs.name = f"{experiment}@sim"
+        sampler = None
+        if telemetry_interval is not None:
+            sampler = SimSampler(
+                cluster.engine,
+                TelemetryAgent(obs, node=-1, interval=float(telemetry_interval)),
+            ).start()
         net = KylixAllreduce(cluster, degrees=degrees, retry=retry, degrade=degrade)
         net.configure(spec)
         result = net.reduce(w["values"])
+        if sampler is not None:
+            sampler.stop(flush=True)
         info["stats"] = cluster.stats
         info["config_seconds"] = net.config_timing.elapsed
         info["reduce_seconds"] = net.last_reduce_timing.elapsed
@@ -188,7 +208,7 @@ def run_traced(
         obs = Observer(name=f"{experiment}@local")
         net = LocalKylix(
             degrees=degrees, faults=faults, retry=retry, observe=obs,
-            degrade=degrade,
+            degrade=degrade, telemetry_interval=telemetry_interval,
         )
         result = net.allreduce(spec, w["values"])
         info["report"] = net.last_report
@@ -198,7 +218,7 @@ def run_traced(
         obs = Observer(name=f"{experiment}@tcp")
         net = TcpKylix(
             degrees=degrees, faults=faults, retry=retry, observe=obs,
-            degrade=degrade,
+            degrade=degrade, telemetry_interval=telemetry_interval,
         )
         result = net.allreduce(spec, w["values"])
         info["report"] = net.last_report

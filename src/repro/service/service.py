@@ -88,6 +88,9 @@ class ReduceFuture:
         self._evt = threading.Event()
         self._value: Any = None
         self._error: Optional[BaseException] = None
+        # Observer-clock admission timestamp (set by submit); feeds the
+        # slo.reduce_latency histogram when the future resolves.
+        self.submitted_at: Optional[float] = None
 
     def done(self) -> bool:
         return self._evt.is_set()
@@ -312,6 +315,8 @@ class ReduceService:
         st.submitted += 1
         self.stats["submitted"] += 1
         self.obs.counter("service.submitted").inc(stream=st.name)
+        fut.submitted_at = self.obs.now()
+        self._sample_slo()
         self._start_workers()
         return fut
 
@@ -345,6 +350,7 @@ class ReduceService:
             return []
         for _ in batches:
             self._ensure_configured(st)
+        self._sample_slo()
         st.submitted += len(batches)
         self.stats["submitted"] += len(batches)
         self.obs.counter("service.submitted").inc(len(batches), stream=st.name)
@@ -356,6 +362,22 @@ class ReduceService:
         self.stats["completed"] += len(batches)
         self.obs.counter("service.completed").inc(len(batches), stream=st.name)
         return results
+
+    # -- SLO instrumentation ----------------------------------------------
+    def _sample_slo(self) -> None:
+        """Refresh the sampled SLO gauges: queue depth (on every submit
+        and completion — the docstring's queue-depth visibility) and the
+        config-cache hit-rate trend."""
+        self.obs.gauge("service.queue.depth").set(float(self._queue.qsize()))
+        consults = self.cache.hits + self.cache.misses
+        if consults:
+            self.obs.gauge("slo.cache.hit_rate").set(self.cache.hits / consults)
+
+    def _observe_latency(self, st: ReduceStream, fut: ReduceFuture) -> None:
+        if fut.submitted_at is not None:
+            self.obs.histogram("slo.reduce_latency").observe(
+                max(self.obs.now() - fut.submitted_at, 0.0), stream=st.name
+            )
 
     # -- execution ---------------------------------------------------------
     def _check_open(self) -> None:
@@ -418,6 +440,8 @@ class ReduceService:
             st.completed += 1
             self.stats["completed"] += 1
             self.obs.counter("service.completed").inc(stream=st.name)
+            self._observe_latency(st, fut)
+        self._sample_slo()
 
     def _start_workers(self) -> None:
         if self.backend == "sim" or self._workers:
@@ -448,6 +472,8 @@ class ReduceService:
             with self._lock:
                 self.stats["completed"] += 1
             self.obs.counter("service.completed").inc(stream=st.name)
+            self._observe_latency(st, fut)
+            self._sample_slo()
 
     def close(self) -> None:
         """Stop accepting work; drain sim jobs, stop worker threads."""

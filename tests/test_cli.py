@@ -123,6 +123,40 @@ class TestCLI:
         with pytest.raises(SystemExit):
             cli_main(["perf", "not-an-experiment"])
 
+    def test_monitor_once_writes_telemetry_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "telemetry.json"
+        assert cli_main(
+            ["monitor", "quickstart", "--once", "--out", str(out)]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "telemetry —" in printed  # the dashboard header
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "kylix-telemetry-v1"
+        assert doc["samples"] > 1
+        assert any(s["metric"] == "net.bytes" for s in doc["series"])
+
+    def test_monitor_same_seed_documents_identical(self, capsys, tmp_path):
+        """The CI determinism gate in miniature: two same-seed sim runs
+        write byte-identical telemetry documents."""
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path in (a, b):
+            assert cli_main(
+                ["monitor", "quickstart", "--seed", "7", "--once",
+                 "--out", str(path)]
+            ) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_monitor_rejects_bad_interval(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["monitor", "--interval", "0"])
+
+    def test_monitor_rejects_missing_manifest(self, capsys):
+        assert cli_main(["monitor", "--attach", "/nonexistent.json"]) == 2
+        assert "cannot load" in capsys.readouterr().out
+
 
 class TestDocsPins:
     """The CLI table in docs/observability.md mirrors repro.__main__.COMMANDS

@@ -107,7 +107,14 @@ class TestMetrics:
         s = h.summary(phase="config")
         assert s["count"] == 100 and s["min"] == 1.0 and s["max"] == 100.0
         assert s["p50"] == pytest.approx(50.5)
-        assert h.summary(phase="missing") == {"count": 0}
+        # an unobserved series summarises to a complete, all-zero
+        # document — every key present, no percentile crash
+        empty = h.summary(phase="missing")
+        assert empty == {
+            "count": 0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "p50": 0.0, "p99": 0.0,
+        }
+        assert set(empty) == set(s), "empty and populated summaries share keys"
 
     def test_registry_absorb_merges(self):
         a, b = MetricsRegistry(), MetricsRegistry()
@@ -402,6 +409,45 @@ class TestSelfTimeMetric:
         produced = set(d["counters"]) | set(d["gauges"]) | set(d["histograms"])
         assert produced, "a traced run must produce metrics"
         assert "verify.cert.obligations" in produced
+        missing = produced - set(CATALOGUE)
+        assert not missing, f"metrics not in the catalogue: {sorted(missing)}"
+
+    def test_monitored_service_run_emits_catalogued_metrics_only(self):
+        """A *monitored* service run — telemetry sampler ticking the
+        virtual clock, service SLO instrumentation live — stays inside
+        the catalogue too: the telemetry.* / service.queue.* / slo.*
+        families are registered names, not ad-hoc strings."""
+        from repro.cluster import Cluster
+        from repro.obs import CATALOGUE
+        from repro.obs.telemetry import SimSampler, TelemetryAgent
+        from repro.service import ReduceService
+
+        m, n = 8, 400
+        rng = np.random.default_rng(5)
+        idx = {
+            r: np.unique(np.concatenate([rng.choice(n, 40), np.arange(r, n, m)]))
+            for r in range(m)
+        }
+        from repro.allreduce import ReduceSpec
+
+        spec = ReduceSpec(in_indices=idx, out_indices=idx)
+        cluster = Cluster(m, observe=True)
+        obs = cluster.obs
+        sampler = SimSampler(
+            cluster.engine, TelemetryAgent(obs, interval=0.0005)
+        ).start()
+        svc = ReduceService(cluster=cluster, degrees=[4, 2])
+        stream = svc.open_stream("grads", spec)
+        for i in range(3):
+            svc.reduce(
+                stream, {r: rng.normal(size=idx[r].size) for r in range(m)}
+            )
+        sampler.stop(flush=True)
+        d = obs.metrics.as_dict()
+        produced = set(d["counters"]) | set(d["gauges"]) | set(d["histograms"])
+        assert "telemetry.samples" in produced
+        assert "service.queue.depth" in produced
+        assert "slo.reduce_latency" in produced and "slo.cache.hit_rate" in produced
         missing = produced - set(CATALOGUE)
         assert not missing, f"metrics not in the catalogue: {sorted(missing)}"
 

@@ -244,6 +244,36 @@ class TestBackpressure:
             svc.submit(stream, {})
 
 
+class TestServiceSLO:
+    """The service instruments its own SLOs (docs/service.md "Service
+    telemetry"): queue depth sampled on every submit/completion, the
+    per-stream reduce-latency histogram, and the cache hit-rate trend."""
+
+    def test_slo_metrics_emitted_on_a_cached_run(self):
+        m, degrees = 8, [4, 2]
+        spec = random_spec(m, 500, 0.1, 3)
+        cluster = Cluster(m, observe=True)
+        svc = ReduceService(cluster=cluster, degrees=degrees)
+        stream = svc.open_stream("grads", spec)
+        for i in range(4):
+            svc.reduce(stream, random_values(spec, i))
+        obs = cluster.obs
+        # everything drained: the sampled queue depth reads empty
+        assert obs.gauge("service.queue.depth").value() == 0.0
+        # 1 miss + 3 hits on one cached pattern
+        assert obs.gauge("slo.cache.hit_rate").value() == pytest.approx(0.75)
+        s = obs.histogram("slo.reduce_latency").summary(stream="grads")
+        assert s["count"] == 4
+        assert s["max"] > 0.0  # virtual seconds: reduces take sim time
+
+    def test_unobserved_service_pays_nothing(self):
+        m = 4
+        spec = random_spec(m, 200, 0.1, 0)
+        svc = ReduceService(cluster=Cluster(m), degrees=[2, 2])
+        stream = svc.open_stream("s", spec)
+        svc.reduce(stream, random_values(spec, 1))  # must not raise
+
+
 class TestPipelining:
     @pytest.mark.parametrize("depth", [1, 2, 3])
     def test_pipelined_results_depth_invariant_and_exact(self, depth):
