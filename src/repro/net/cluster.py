@@ -67,6 +67,7 @@ from ..faults import (
     RetryPolicy,
 )
 from ..obs import NULL_OBSERVER, Observer
+from ..verify.watchlock import watched_lock
 from ..obs.telemetry import (
     FlightRecorder,
     TelemetryAgent,
@@ -202,7 +203,7 @@ def _run_session(
     telemetry_interval = cfg.get("telemetry_interval")
     # The result frame and streamed telemetry frames share the control
     # socket; the lock keeps their byte streams from interleaving.
-    ctrl_lock = threading.Lock()
+    ctrl_lock = watched_lock("net.cluster._run_session.ctrl_lock")
     sampler = None
     recorder = None
     if observe:
@@ -327,7 +328,11 @@ def _run_session(
     finally:
         if sampler is not None:
             sampler.stop(flush=False)
-        control.close()
+        # Close under the control lock: the sampler thread may be inside
+        # a sendall on this socket, and closing mid-write hands the fd
+        # back to the OS while bytes are still leaving.
+        with ctrl_lock:
+            control.close()
         net.close()
 
 
@@ -869,7 +874,7 @@ def _run_wave(
     errors: List[str] = []
     dead: List[int] = []
     cache_stats = {"hits": 0, "misses": 0}
-    lock = threading.Lock()
+    lock = watched_lock("net.cluster._run_wave.lock")
 
     def one(rank: int) -> None:
         cfg = {
@@ -948,4 +953,7 @@ def _run_wave(
         t.start()
     for t in threads:
         t.join(timeout=session_timeout + 10.0)
-    return results, errors, dead, cache_stats
+    with lock:
+        # Snapshot under the lock: a straggler that outlived the bounded
+        # join may still be appending while we hand the wave back.
+        return dict(results), list(errors), list(dead), dict(cache_stats)

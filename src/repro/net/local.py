@@ -70,6 +70,7 @@ import time
 from typing import Dict
 
 from ..obs import NULL_OBSERVER
+from ..verify.watchlock import watched_lock
 from .base import ForkedKylixBase
 from .transport import BaseTransport
 
@@ -87,7 +88,7 @@ class LocalTransport(BaseTransport):
     def __init__(self, rank, conns, plan, retry, obs=NULL_OBSERVER):
         super().__init__(rank, plan, retry, obs)
         self.conns = conns
-        self.locks = {m: threading.Lock() for m in conns}
+        self.locks = {m: watched_lock(f"net.local.LocalTransport.locks[{m}]") for m in conns}
 
     def _send_frame(self, member, frame) -> None:
         try:
@@ -99,7 +100,7 @@ class LocalTransport(BaseTransport):
     def post(self, member, kind, layer, part, seq=0) -> None:
         """Cache + send on a background thread (deadlock-free exchange)."""
         self.sent[(member, kind, layer, seq)] = part
-        t = threading.Thread(
+        t = threading.Thread(  # lint: ok — BaseTransport.join_senders joins these with a timeout
             target=self._transmit,
             args=(member, kind, layer, part, seq, 0, time.monotonic()),
         )

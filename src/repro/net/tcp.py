@@ -48,6 +48,7 @@ import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..obs import NULL_OBSERVER
+from ..verify.watchlock import watched_lock
 from .base import ForkedKylixBase
 from .framing import FrameError, FrameTruncatedError, encode_frame, FrameDecoder, recv_frame
 from .transport import POLL_INTERVAL, BaseTransport
@@ -81,7 +82,8 @@ class _Link:
         self.peer = peer
         self.q: "queue.Queue" = queue.Queue()
         self.sock: Optional[socket.socket] = None
-        self.lock = threading.Lock()  # guards sock swaps vs writes
+        # Guards sock swaps vs writes, plus the liveness fields below.
+        self.lock = watched_lock("net.tcp._Link.lock")
         self.sender: Optional[threading.Thread] = None
         self.reader: Optional[threading.Thread] = None
         self.last_seen = time.monotonic()
@@ -263,9 +265,12 @@ class TcpTransport(BaseTransport):
             link.sender.start()
         with link.lock:
             old, link.sock = link.sock, sock
-        link.down_at = None
-        link.failed = False
-        link.last_seen = time.monotonic()
+            # Reset liveness inside the same critical section: a pump
+            # between the swap and the resets would see the new socket
+            # with the old link's death certificate still attached.
+            link.down_at = None
+            link.failed = False
+            link.last_seen = time.monotonic()
         link.reader = threading.Thread(
             target=self._reader_loop, args=(link, sock), daemon=True
         )
@@ -279,7 +284,7 @@ class TcpTransport(BaseTransport):
     # -- sender side -------------------------------------------------------
     def _send_frame(self, member, frame) -> None:
         link = self._links.get(member)
-        if link is None or link.failed or member in self.closed:
+        if link is None or link.failed or member in self.closed:  # conc: ok(racy read of failed; a stale False only queues one frame the drain reaps)
             return  # peer unreachable: the NACK layer cannot help a dead peer
         link.q.put(encode_frame(frame))
 
@@ -304,7 +309,7 @@ class TcpTransport(BaseTransport):
 
     def _sender_loop(self, link: _Link) -> None:
         last_tx = time.monotonic()
-        while not self._stop.is_set() and not link.failed:
+        while not self._stop.is_set() and not link.failed:  # conc: ok(exit-condition poll; only _write on this same thread sets failed)
             try:
                 item = link.q.get(timeout=self._hb_interval)
             except queue.Empty:
@@ -324,16 +329,20 @@ class TcpTransport(BaseTransport):
     def _write(self, link: _Link, data: bytes) -> bool:
         """One framed write; on failure, run the reconnect dance once."""
         for fresh in (False, True):
-            sock = link.sock
-            if sock is not None:
-                try:
-                    with link.lock:
+            # Read the socket inside the lock: snapshotting it outside
+            # races _install's swap and can sendall() on the socket the
+            # reconnect just retired, losing the frame on a live link.
+            with link.lock:
+                sock = link.sock
+                if sock is not None:
+                    try:
                         sock.sendall(data)
-                    return True
-                except OSError:
-                    pass
+                        return True
+                    except OSError:
+                        pass
             if fresh or not self._reestablish(link):
-                link.failed = True
+                with link.lock:
+                    link.failed = True
                 return False
         return False  # pragma: no cover - loop always returns
 
@@ -356,10 +365,10 @@ class TcpTransport(BaseTransport):
                     time.sleep(delay)
                     delay *= 2
             return False
-        old = link.sock
+        old = link.sock  # conc: ok(poll baseline; waiting for _install's swap by identity)
         deadline = time.monotonic() + self._reconnect_grace
         while time.monotonic() < deadline and not self._stop.is_set():
-            if link.sock is not old and link.sock is not None:
+            if link.sock is not old and link.sock is not None:  # conc: ok(poll for the swap; lock-free by design)
                 return True
             time.sleep(POLL_INTERVAL)
         return False
@@ -367,7 +376,7 @@ class TcpTransport(BaseTransport):
     # -- reader side -------------------------------------------------------
     def _reader_loop(self, link: _Link, sock: socket.socket) -> None:
         dec = FrameDecoder()
-        while not self._stop.is_set() and link.sock is sock:
+        while not self._stop.is_set() and link.sock is sock:  # conc: ok(identity poll; a stale read costs one 0.2s recv timeout)
             try:
                 chunk = sock.recv(65536)
             except socket.timeout:
@@ -380,7 +389,7 @@ class TcpTransport(BaseTransport):
                 except FrameTruncatedError:
                     pass  # peer died mid-frame: same outcome as clean EOF
                 break
-            link.last_seen = time.monotonic()
+            link.last_seen = time.monotonic()  # conc: ok(hot path; atomic float store and both writers store "now")
             try:
                 msgs = dec.feed(chunk)
             except FrameError:
@@ -389,8 +398,12 @@ class TcpTransport(BaseTransport):
                 if msg[0] in ("hb", "hello"):
                     continue
                 self._rx.put((link.peer, msg))
-        if link.sock is sock and not self._stop.is_set():
-            link.down_at = time.monotonic()
+        with link.lock:
+            # Atomic check-and-set: only the reader of the *current*
+            # socket may post the death certificate, and the check must
+            # not race an _install swap.
+            if link.sock is sock and not self._stop.is_set():
+                link.down_at = time.monotonic()
 
     # -- pump / liveness ---------------------------------------------------
     def _pump_once(self) -> List[int]:
@@ -405,12 +418,11 @@ class TcpTransport(BaseTransport):
         for peer, link in self._links.items():
             if peer in self.closed:
                 continue
-            half_open = now - link.last_seen > self._hb_timeout
-            eof_dead = (
-                link.down_at is not None
-                and now - link.down_at > self._reconnect_grace
-            )
-            if link.failed or eof_dead or half_open:
+            with link.lock:
+                last_seen, down_at, failed = link.last_seen, link.down_at, link.failed
+            half_open = now - last_seen > self._hb_timeout
+            eof_dead = down_at is not None and now - down_at > self._reconnect_grace
+            if failed or eof_dead or half_open:
                 self.closed.add(peer)
                 dead.append(peer)
         return dead
@@ -424,7 +436,7 @@ class TcpTransport(BaseTransport):
         Also reaps finished post/resend threads, like the pipe transport.
         """
         for link in self._links.values():
-            if not link.failed:
+            if not link.failed:  # conc: ok(racy read; a link that fails mid-drain is drained next round)
                 continue
             while True:
                 try:
@@ -451,7 +463,8 @@ class TcpTransport(BaseTransport):
         for link in self._links.values():
             if link.sender is not None:
                 link.sender.join(timeout=1.0)
-            sock = link.sock
+            with link.lock:
+                sock = link.sock
             if sock is not None:
                 try:
                     sock.close()

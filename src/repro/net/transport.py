@@ -38,6 +38,7 @@ from ..faults import PeerFailedError, RetryPolicy
 from ..faults.plan import _PHASE_ID, canonical_phase
 from ..obs import NULL_OBSERVER
 from ..verify.errors import ProtocolInvariantError
+from ..verify.watchlock import watched_lock
 
 __all__ = ["BaseTransport", "POLL_INTERVAL", "PHASE_OF"]
 
@@ -80,7 +81,7 @@ class BaseTransport:
         self.obs = obs
         # Fault decisions happen on sender threads; metric dicts are not
         # thread-safe, so their updates serialise through this lock.
-        self._obs_lock = threading.Lock()
+        self._obs_lock = watched_lock("net.transport.BaseTransport._obs_lock")
         self.sent: Dict[_Key, Any] = {}
         self.inbox: Dict[_Key, Any] = {}
         self.arrived: Dict[_Key, float] = {}
@@ -105,7 +106,7 @@ class BaseTransport:
         self._audit_replies: Dict[int, Any] = {}
         self._audit_events: Dict[int, threading.Event] = {}
         self._audit_token = 0
-        self._audit_lock = threading.Lock()
+        self._audit_lock = watched_lock("net.transport.BaseTransport._audit_lock")
         #: TELEMETRY frames received from peers, as (member, sample).
         #: Bounded: telemetry is best-effort and an unattended buffer
         #: must not grow without limit.

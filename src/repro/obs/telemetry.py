@@ -214,7 +214,14 @@ class SimSampler:
 
 
 class WallClockSampler:
-    """Drives a :class:`TelemetryAgent` from a daemon thread (real backends)."""
+    """Drives a :class:`TelemetryAgent` from a daemon thread (real backends).
+
+    Threading contract (checked by ``python -m repro races``): the
+    sampler thread is a daemon polling ``_stop`` and is joined with an
+    explicit timeout in :meth:`stop`; the agent's ``sink`` callback runs
+    *on the sampler thread*, so whatever the sink touches (e.g. the node
+    control socket in ``net.cluster``) must carry its own lock.
+    """
 
     def __init__(self, agent: TelemetryAgent, *, name: str = "telemetry-agent"):
         self.agent = agent
@@ -249,6 +256,12 @@ class TimeSeriesAggregator:
     gauges keep the sampled value; histograms keep the per-interval
     summary dicts (count/min/max/mean/p50/p99) the agent computed from
     the fresh observations.
+
+    Not internally locked: the aggregator is single-owner by design.
+    The one concurrent caller — the driver's per-rank session threads in
+    ``net.cluster._run_wave`` — serialises :meth:`ingest` under the wave
+    lock, which is exactly the discipline the static analyzer's
+    function-local-lock pass pins there.
     """
 
     def __init__(self) -> None:

@@ -35,6 +35,7 @@ from typing import Any, Dict, Optional, Sequence
 import numpy as np
 
 from ..obs import NULL_OBSERVER
+from ..verify.watchlock import watched_lock
 
 __all__ = ["spec_fingerprint", "CacheEntry", "ConfigCache"]
 
@@ -97,7 +98,7 @@ class ConfigCache:
         self.maxsize = int(maxsize)
         self.obs = obs
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = watched_lock("service.cache.ConfigCache._lock")
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -158,10 +159,13 @@ class ConfigCache:
 
     @property
     def stats(self) -> Dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "size": len(self._entries),
-        }
+        # Snapshot under the lock: the counters are bumped by service
+        # worker threads, and a torn read here skews the SLO hit-rate.
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "size": len(self._entries),
+            }

@@ -48,6 +48,7 @@ from ..allreduce import KylixAllreduce, ReduceSpec
 from ..obs import NULL_OBSERVER
 from ..simul import AllOf
 from ..sparse import MultiplicativeHasher
+from ..verify.watchlock import watched_lock
 from .cache import ConfigCache, spec_fingerprint
 from .pipeline import pipelined_reduces
 
@@ -193,7 +194,7 @@ class ReduceService:
         self.streams: Dict[str, ReduceStream] = {}
         # Admission queue: the bounded-queue backpressure contract.
         self._queue: "queue.Queue" = queue.Queue(maxsize=self.queue_depth)
-        self._lock = threading.Lock()
+        self._lock = watched_lock("service.service.ReduceService._lock")
         self._workers: List[threading.Thread] = []
         self._closed = False
         self.stats = {"submitted": 0, "completed": 0, "rejected": 0}
@@ -306,14 +307,16 @@ class ReduceService:
             else:
                 self._queue.put_nowait(job)
         except queue.Full:
-            self.stats["rejected"] += 1
+            with self._lock:
+                self.stats["rejected"] += 1
             self.obs.counter("service.rejected").inc(stream=st.name)
             raise ServiceOverloaded(
                 f"stream {st.name!r}: admission queue full "
                 f"({self.queue_depth} pending)"
             ) from None
         st.submitted += 1
-        self.stats["submitted"] += 1
+        with self._lock:
+            self.stats["submitted"] += 1
         self.obs.counter("service.submitted").inc(stream=st.name)
         fut.submitted_at = self.obs.now()
         self._sample_slo()
@@ -352,14 +355,16 @@ class ReduceService:
             self._ensure_configured(st)
         self._sample_slo()
         st.submitted += len(batches)
-        self.stats["submitted"] += len(batches)
+        with self._lock:
+            self.stats["submitted"] += len(batches)
         self.obs.counter("service.submitted").inc(len(batches), stream=st.name)
         if self.backend == "sim":
             results = pipelined_reduces(st.net, batches, depth=depth)
         else:
             results = st.net.allreduce_rounds(st.spec, batches)
         st.completed += len(batches)
-        self.stats["completed"] += len(batches)
+        with self._lock:
+            self.stats["completed"] += len(batches)
         self.obs.counter("service.completed").inc(len(batches), stream=st.name)
         return results
 
@@ -369,9 +374,10 @@ class ReduceService:
         and completion — the docstring's queue-depth visibility) and the
         config-cache hit-rate trend."""
         self.obs.gauge("service.queue.depth").set(float(self._queue.qsize()))
-        consults = self.cache.hits + self.cache.misses
+        cache = self.cache.stats  # locked snapshot: no torn hits/misses pair
+        consults = cache["hits"] + cache["misses"]
         if consults:
-            self.obs.gauge("slo.cache.hit_rate").set(self.cache.hits / consults)
+            self.obs.gauge("slo.cache.hit_rate").set(cache["hits"] / consults)
 
     def _observe_latency(self, st: ReduceStream, fut: ReduceFuture) -> None:
         if fut.submitted_at is not None:
@@ -438,14 +444,18 @@ class ReduceService:
         for j, (_, st, _, fut) in enumerate(jobs):
             fut._resolve(value={rank: raw[rank][j] for rank in raw})
             st.completed += 1
-            self.stats["completed"] += 1
+            with self._lock:
+                self.stats["completed"] += 1
             self.obs.counter("service.completed").inc(stream=st.name)
             self._observe_latency(st, fut)
         self._sample_slo()
 
     def _start_workers(self) -> None:
-        if self.backend == "sim" or self._workers:
+        if self.backend == "sim":
             return
+        # The started-already check lives inside the lock: the old
+        # double-checked read raced a concurrent first submit and could
+        # start two full worker pools.
         with self._lock:
             if self._workers:
                 return
@@ -483,9 +493,11 @@ class ReduceService:
         if self.backend == "sim":
             self.drain()
         else:
-            for _ in self._workers:
+            with self._lock:
+                workers = list(self._workers)
+            for _ in workers:
                 self._queue.put(_STOP)
-            for t in self._workers:
+            for t in workers:
                 t.join(timeout=self.result_timeout)
 
     def __enter__(self) -> "ReduceService":

@@ -15,6 +15,7 @@ from .mutable_defaults import NoMutableDefaultArgRule
 from .noprint import NoPrintRule
 from .sockets import SocketTimeoutRule
 from .spans import SpanBalanceRule
+from .threads_discipline import NoUnjoinedThreadRule
 from .timeouts import ExplicitTimeoutRule
 from .unbounded_queue import NoUnboundedQueueRule
 
@@ -32,6 +33,7 @@ __all__ = [
     "NoUnboundedQueueRule",
     "SocketTimeoutRule",
     "SpanBalanceRule",
+    "NoUnjoinedThreadRule",
 ]
 
 RULES = [
@@ -47,4 +49,5 @@ RULES = [
     NoUnboundedQueueRule,
     SocketTimeoutRule,
     SpanBalanceRule,
+    NoUnjoinedThreadRule,
 ]

@@ -1,0 +1,90 @@
+"""Rule: every ``threading.Thread`` must have a shutdown story.
+
+A thread that is neither joined nor daemonised outlives the object that
+spawned it: tests leak it into the next test, ``close()`` returns with
+work still running, and interpreter shutdown can hang on it.  The repo
+contract (``docs/verify.md``) is that every file constructing a
+``threading.Thread`` shows one of two disciplines:
+
+* **joined** — the file contains at least one ``.join(timeout=...)``
+  call with an *explicit* timeout (an unbounded join just moves the hang
+  to teardown), or
+* **daemon + stop signal** — the threads are daemonised (``daemon=True``
+  at construction or a ``t.daemon = True`` assignment) *and* the file
+  owns a ``threading.Event`` the loops poll to exit.
+
+The check is file-scoped on purpose: matching each constructed thread to
+its own join site needs flow analysis (that is
+:mod:`repro.verify.threads`' job); what the lint layer pins is that the
+file has *some* teardown discipline at all.  A thread genuinely joined
+elsewhere (e.g. handed to a base class that joins it) is exempted with
+``# lint: ok`` plus a comment naming the joiner.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..lint import LintFinding, LintRule
+from ._util import dotted_name
+
+__all__ = ["NoUnjoinedThreadRule"]
+
+_THREAD_CTORS = {"threading.Thread", "Thread"}
+_EVENT_CTORS = {"threading.Event", "Event"}
+
+
+def _is_true(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is True
+
+
+class NoUnjoinedThreadRule(LintRule):
+    name = "no-unjoined-thread"
+    description = (
+        "files constructing threading.Thread must join with an explicit "
+        "timeout, or daemonise and own a stop Event (threads need a "
+        "shutdown story)"
+    )
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[LintFinding]:
+        ctors = []
+        has_join_timeout = False
+        has_event = False
+        has_daemon_assign = False
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _THREAD_CTORS:
+                    ctors.append(node)
+                elif name in _EVENT_CTORS:
+                    has_event = True
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                ):
+                    # Keyword only: a positional arg would also match
+                    # ", ".join(parts), which is no evidence at all.
+                    if any(kw.arg == "timeout" for kw in node.keywords):
+                        has_join_timeout = True
+            elif isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if (
+                        isinstance(tgt, ast.Attribute)
+                        and tgt.attr == "daemon"
+                        and _is_true(node.value)
+                    ):
+                        has_daemon_assign = True
+        for ctor in ctors:
+            daemon = has_daemon_assign or any(
+                kw.arg == "daemon" and _is_true(kw.value) for kw in ctor.keywords
+            )
+            if has_join_timeout or (daemon and has_event):
+                continue
+            yield self.finding(
+                relpath,
+                ctor,
+                "threading.Thread without a shutdown story: join it with an "
+                "explicit timeout, or make it daemon=True with a stop Event "
+                "(or '# lint: ok' naming who joins it)",
+            )

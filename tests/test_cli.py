@@ -119,6 +119,35 @@ class TestCLI:
         with pytest.raises(SystemExit):
             cli_main(["explore", "--nodes", "1"])
 
+    def test_races_clean_package_exits_zero(self, capsys):
+        assert cli_main(["races"]) == 0
+        out = capsys.readouterr().out
+        assert "no lock-order cycles, no unguarded shared-state access" in out
+        assert "thread root(s)" in out
+        assert "net.tcp.TcpTransport._sender_loop" in out
+
+    def test_races_mutant_exits_one_and_names_both_paths(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "races.json"
+        assert cli_main(["races", "--mutant", "--out", str(report)]) == 1
+        out = capsys.readouterr().out
+        assert "POTENTIAL DEADLOCK [lock-order-cycle]" in out
+        assert "Inverted.flip" in out and "Inverted.flop" in out
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "kylix-races-v1"
+        assert doc["ok"] is False
+        assert doc["cycles"]
+
+    def test_races_json_report_is_valid(self, capsys):
+        import json
+
+        assert cli_main(["races", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "kylix-races-v1"
+        assert doc["ok"] is True
+        assert "net.tcp._Link.lock" in doc["locks"]
+
     def test_perf_rejects_unknown_experiment(self, capsys):
         with pytest.raises(SystemExit):
             cli_main(["perf", "not-an-experiment"])

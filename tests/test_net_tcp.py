@@ -171,3 +171,131 @@ class TestTcpFaults:
         del net, victim, kids
         gc.collect()
         assert open_fds() <= fds_before
+
+
+class TestConcurrencyRegressions:
+    """Deterministic regressions for the races ``python -m repro races``
+    surfaced in this transport (and the fixes it forced).
+
+    Each test replaces ``link.lock`` with an instrumented lock that
+    *forces* the racing interleaving, so the old buggy orderings fail
+    every run instead of once per thousand soak runs."""
+
+    @staticmethod
+    def _bare_transport():
+        from repro.faults import RetryPolicy
+        from repro.net.tcp import TcpTransport
+
+        return TcpTransport(0, None, RetryPolicy())
+
+    def test_write_reads_the_socket_inside_the_lock(self):
+        """The _Link.sock finding: _write used to snapshot ``link.sock``
+        *before* taking the lock, so a reconnect swap between the read
+        and the sendall wrote to the retired socket and declared a live
+        link dead.  The instrumented lock performs the swap at acquire
+        time — exactly the lost race — and the fixed _write must send on
+        the fresh socket."""
+        from repro.net.tcp import _Link
+
+        class DeadSock:
+            def sendall(self, data):
+                raise OSError("stale fd")
+
+        class LiveSock:
+            def __init__(self):
+                self.sent = []
+
+            def sendall(self, data):
+                self.sent.append(data)
+
+        class SwapOnAcquire:
+            """_install's swap wins the race: by the time _write holds
+            the lock, the socket has been replaced."""
+
+            def __init__(self, link, fresh):
+                self.link = link
+                self.fresh = fresh
+                self.inner = threading.Lock()
+
+            def __enter__(self):
+                self.inner.acquire()
+                self.link.sock = self.fresh
+                return self
+
+            def __exit__(self, *exc):
+                self.inner.release()
+
+        net = self._bare_transport()
+        try:
+            link = _Link(1)
+            live = LiveSock()
+            link.sock = DeadSock()
+            link.lock = SwapOnAcquire(link, live)
+            reestablishes = []
+            net._reestablish = lambda l: reestablishes.append(l) or False
+            assert net._write(link, b"payload") is True
+            assert live.sent == [b"payload"]
+            assert link.failed is False
+            assert reestablishes == [], "a fresh socket must not trigger reconnect"
+        finally:
+            net.close()
+
+    def test_install_resets_liveness_inside_the_critical_section(self):
+        """The _install finding: the down_at/failed/last_seen resets
+        used to happen *after* the lock was released, so a pump running
+        between the swap and the resets saw the new socket wearing the
+        old link's death certificate and declared the peer dead.  The
+        instrumented lock snapshots the fields at first release: the
+        fixed _install must have reset them by then."""
+        from repro.net.tcp import _Link
+
+        class FakeSock:
+            def settimeout(self, t):
+                pass
+
+            def recv(self, n):
+                raise OSError("test socket has no bytes")
+
+            def close(self):
+                pass
+
+        class SnapshotOnRelease:
+            def __init__(self, link):
+                self.link = link
+                self.inner = threading.Lock()
+                self.at_first_release = None
+
+            def __enter__(self):
+                self.inner.acquire()
+                return self
+
+            def __exit__(self, *exc):
+                if self.at_first_release is None:
+                    self.at_first_release = (
+                        self.link.down_at,
+                        self.link.failed,
+                        self.link.last_seen,
+                    )
+                self.inner.release()
+
+        net = self._bare_transport()
+        try:
+            net._stop.set()  # keep the spawned reader passive
+            link = _Link(1)
+            link.down_at = 123.0
+            link.failed = True
+            link.last_seen = 0.0
+            link.sender = threading.Thread(target=lambda: None)
+            link.sender.start()  # close() joins it; a no-op thread exits at once
+            snap = SnapshotOnRelease(link)
+            link.lock = snap
+            net._links[1] = link  # pre-registered: no sender spawn
+            net._install(1, FakeSock())
+            if link.reader is not None:
+                link.reader.join(timeout=2.0)
+            down_at, failed, last_seen = snap.at_first_release
+            assert down_at is None, "down_at reset must be inside the lock"
+            assert failed is False, "failed reset must be inside the lock"
+            assert last_seen > 0.0, "last_seen refresh must be inside the lock"
+        finally:
+            net.close()
